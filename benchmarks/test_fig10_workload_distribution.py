@@ -1,0 +1,49 @@
+"""Fig. 10 — per-broker workload distribution on the real-like cities.
+
+Paper: Top-K loads its top brokers hardest; RR spreads demand thinnest
+(but wastes top brokers' spare capacity); among capacity-aware matchers,
+LACB keeps top brokers' workloads lowest — at low overload risk.
+
+Here: the same distribution study.  The bench prints the top-broker
+workload series per algorithm and asserts the ordering of the extremes
+plus LACB's overload safety.
+"""
+
+import numpy as np
+
+from benchmarks.common import city_runs
+from repro.experiments import format_series
+
+
+def test_fig10_workload_distribution(benchmark):
+    evaluations = benchmark.pedantic(
+        lambda: [city_runs(city) for city in "ABC"], rounds=1, iterations=1
+    )
+    for evaluation in evaluations:
+        series = {
+            name: values[:10]
+            for name, values in evaluation.top_workload_series(top_n=10).items()
+        }
+        print()
+        print(
+            format_series(
+                "rank",
+                list(range(1, 11)),
+                series,
+                title=f"Fig. 10 (City {evaluation.city}): top-broker mean daily workloads",
+            )
+        )
+        print(
+            "overload severity (mean peak excess over latent capacity): "
+            + ", ".join(f"{n}={s:.2f}" for n, s in evaluation.overload_severities.items())
+        )
+        top3 = evaluation.top_workload_series(top_n=5)
+        # Top-K's stars carry the heaviest load; RR's the lightest.
+        assert np.mean(top3["Top-3"]) > np.mean(top3["LACB"])
+        assert np.mean(top3["RR"]) <= np.mean(top3["LACB"]) + 1e-9
+        # LACB's brokers are pushed far less past capacity than Top-K's
+        # stars (the "low risk of overload" of Fig. 10).
+        assert (
+            evaluation.overload_severities["LACB"]
+            < evaluation.overload_severities["Top-3"]
+        )

@@ -1,0 +1,56 @@
+"""Fig. 11 — overall utility and running time on the real-like cities.
+
+Paper: on all three cities Top-K performs worst (Top-3 slightly above
+Top-1), CTop-K improves over Top-K, AN beats most baselines, and LACB /
+LACB-Opt come out on top; KM-based algorithms are the slowest while
+LACB-Opt stays within seconds of the recommenders.
+
+Here: the full roster on real-like Cities A/B/C.  The bench prints the
+per-city utility/time table and asserts the ordering relations the paper
+calls out.
+"""
+
+from benchmarks.common import city_runs
+from repro.experiments import format_table
+
+
+def test_fig11_overall_comparison(benchmark):
+    evaluations = benchmark.pedantic(
+        lambda: [city_runs(city) for city in "ABC"], rounds=1, iterations=1
+    )
+    for evaluation in evaluations:
+        print()
+        print(
+            format_table(
+                ["algorithm", "total utility", "decision s"],
+                evaluation.utility_table(),
+                title=f"Fig. 11 (City {evaluation.city})",
+            )
+        )
+        utilities = {
+            name: run.total_realized_utility for name, run in evaluation.results.items()
+        }
+        # "As expected, Top-K performs poorly on all three datasets."
+        lacb_best = max(utilities["LACB"], utilities["LACB-Opt"])
+        assert lacb_best > utilities["Top-1"]
+        assert lacb_best > utilities["Top-3"]
+        # "CTop-K improves the total utility over Top-K."
+        assert utilities["CTop-3"] > utilities["Top-3"]
+        assert utilities["CTop-1"] > utilities["Top-1"]
+        # "our LACB and LACB-Opt outperform AN" (allowing run noise: the
+        # LACB family must be at least competitive and win on average).
+        assert lacb_best > 0.95 * utilities["AN"]
+        # The family also beats the remaining baselines outright.
+        for baseline in ("RR", "KM"):
+            assert lacb_best > utilities[baseline], baseline
+
+    # Averaged over the three cities, LACB > AN strictly.
+    lacb_mean = sum(
+        max(
+            e.results["LACB"].total_realized_utility,
+            e.results["LACB-Opt"].total_realized_utility,
+        )
+        for e in evaluations
+    )
+    an_mean = sum(e.results["AN"].total_realized_utility for e in evaluations)
+    assert lacb_mean > an_mean

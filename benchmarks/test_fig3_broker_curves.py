@@ -1,0 +1,48 @@
+"""Fig. 3 — per-broker sign-up curves of the most-loaded brokers.
+
+Paper: the 21 most-loaded City A brokers show decreasing sign-up rates as
+workload grows, with complex, non-linear, broker-specific patterns; each
+performs best inside an "accustomed workload area".
+
+Here: the same 21-broker study on a simulated city.  The bench prints one
+row per broker (peak location, rate at the peak, rate when pushed to 2x
+the peak) and asserts broker-specific unimodality.
+"""
+
+import numpy as np
+
+from benchmarks.common import MOTIVATION_CONFIG
+from repro.experiments import format_table, top_broker_curves
+from repro.simulation import generate_city
+
+
+def test_fig3_broker_specific_unimodal_curves(benchmark):
+    platform = generate_city(MOTIVATION_CONFIG)
+    curves = benchmark.pedantic(
+        lambda: top_broker_curves(platform, seed=5, top_n=21), rounds=1, iterations=1
+    )
+    rows = []
+    for curve in curves:
+        peak = curve.accustomed_workload
+        at_peak = float(np.max(curve.expected_signup))
+        overloaded = float(
+            curve.expected_signup[np.searchsorted(curve.workload_grid, min(2 * peak, 80)) - 1]
+        )
+        rows.append((curve.broker_id, peak, at_peak, overloaded, curve.observed_workloads.size))
+    print()
+    print(
+        format_table(
+            ["broker", "accustomed workload", "rate at peak", "rate at 2x peak", "observed days"],
+            rows,
+            title="Fig. 3: top-21 broker response curves",
+        )
+    )
+    peaks = np.array([curve.accustomed_workload for curve in curves])
+    # Broker-specific: peaks spread across a wide band, not one city value.
+    assert np.unique(peaks).size >= 8
+    assert peaks.min() >= 3 and peaks.max() <= 60
+    for curve in curves:
+        # Overloading to 2x the accustomed workload loses most of the rate.
+        peak_rate = float(np.max(curve.expected_signup))
+        overloaded_rate = float(curve.expected_signup[-1])
+        assert overloaded_rate < 0.6 * peak_rate

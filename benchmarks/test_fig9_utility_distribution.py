@@ -1,0 +1,48 @@
+"""Fig. 9 — per-broker utility distribution on the real-like cities.
+
+Paper (City A): capacity-based algorithms (CTop-K, AN, LACB) beat Top-K
+for most brokers; 80.8% of brokers improve under LACB vs Top-K, while RR
+equalizes utilities but *decreases* 25.7% of brokers.
+
+Here: the same distribution study on real-like Cities A/B/C.  The bench
+prints the top-broker utility series per algorithm plus the improvement /
+degradation fractions and asserts the paper's two headline claims.
+"""
+
+import numpy as np
+
+from benchmarks.common import city_runs
+from repro.experiments import format_series, format_table, fraction_degraded, gini
+
+
+def test_fig9_utility_distribution(benchmark):
+    evaluations = benchmark.pedantic(
+        lambda: [city_runs(city) for city in "ABC"], rounds=1, iterations=1
+    )
+    for evaluation in evaluations:
+        series = {
+            name: values[:10]
+            for name, values in evaluation.top_utility_series(top_n=10).items()
+        }
+        print()
+        print(
+            format_series(
+                "rank",
+                list(range(1, 11)),
+                series,
+                title=f"Fig. 9 (City {evaluation.city}): top-broker utilities",
+            )
+        )
+        rows = [(name, frac) for name, frac in evaluation.improved_vs_top3.items()]
+        print(format_table(["algorithm", "brokers improved vs Top-3"], rows))
+        print(f"RR degrades {evaluation.rr_degraded_vs_top3:.1%} of brokers vs Top-3")
+
+        # Paper shape: LACB improves the majority of brokers...
+        assert evaluation.improved_vs_top3["LACB"] > 0.5
+        # ...while RR, despite equalizing, hurts a visible minority (the
+        # paper reports 25.7%; our simulated cities measure 3-10%).
+        assert evaluation.rr_degraded_vs_top3 > 0.02
+        # RR's distribution is the most equal (its very design).
+        rr_gini = gini(evaluation.results["RR"].broker_utility)
+        topk_gini = gini(evaluation.results["Top-3"].broker_utility)
+        assert rr_gini < topk_gini

@@ -1,0 +1,51 @@
+"""Appeals — the Sec. VI-B client-dissatisfaction mechanism in action.
+
+When a client is unhappy with the assigned broker, the platform zeroes
+that pair's utility, restores the broker's workload and re-queues the
+request in the next interval.  This example runs the same city with
+appeals disabled and enabled and shows how matchers that pick poor fits
+(RR) churn far more clients than fit-aware assignment (LACB-Opt).
+
+Run with::
+
+    python examples/appeals_workflow.py
+"""
+
+from repro import SyntheticConfig, generate_city, make_matcher, run_algorithm
+from repro.experiments import format_table
+
+
+def main() -> None:
+    rows = []
+    for appeal_rate in (0.0, 0.4):
+        config = SyntheticConfig(
+            num_brokers=120,
+            num_requests=4800,
+            num_days=8,
+            imbalance=0.02,
+            appeal_rate=appeal_rate,
+            seed=33,
+        )
+        platform = generate_city(config)
+        for name in ("RR", "LACB-Opt"):
+            result = run_algorithm(platform, make_matcher(name, platform, seed=9))
+            # Appealed requests are re-queued, so the assigned count exceeds
+            # the stream size; the excess measures client churn.
+            churn = result.num_assigned - len(platform.stream)
+            rows.append((appeal_rate, name, result.total_realized_utility, churn))
+
+    print(
+        format_table(
+            ["appeal rate", "algorithm", "realized utility", "appealed requests"],
+            rows,
+            title="Client appeals: fit-aware assignment churns fewer clients",
+        )
+    )
+    print(
+        "\nWith appeals on, RR's random broker picks trigger many re-assignments, "
+        "while LACB-Opt's fit-aware matches rarely get appealed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Broker development — the Matthew effect under learning-by-doing.
+
+Sec. II-B of the paper warns that top-k recommendation leaves neglected
+brokers "few opportunities to improve their home-finding skills".  With
+the simulator's learning-by-doing dynamics on (serving requests moves a
+broker's quality toward its potential), this example compares how much of
+the pool's latent potential each matching policy actually develops over a
+horizon — and at what utility cost.
+
+Run with::
+
+    python examples/broker_development.py
+"""
+
+import numpy as np
+
+from repro import SyntheticConfig, generate_city, make_matcher, run_algorithm
+from repro.experiments import format_table
+from repro.experiments.metrics import gini
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        num_brokers=150,
+        num_requests=6000,
+        num_days=14,
+        imbalance=0.015,
+        skill_growth=0.02,
+        seed=9,
+    )
+    platform = generate_city(config)
+    population = platform.population
+    initial = population.potential_quality * (0.55 + 0.45 * population.experience)
+
+    rows = []
+    for name in ("Top-1", "Top-3", "RR", "CTop-3", "LACB-Opt"):
+        result = run_algorithm(platform, make_matcher(name, platform, seed=5))
+        closed = population.base_quality - initial
+        potential = np.maximum(population.potential_quality - initial, 1e-12)
+        rows.append(
+            (
+                name,
+                result.total_realized_utility,
+                float(closed.sum() / potential.sum()),
+                int(np.sum(closed > 0.1 * potential)),
+                gini(result.broker_workload),
+            )
+        )
+    print(
+        format_table(
+            [
+                "policy",
+                "total utility",
+                "pool potential realized",
+                "brokers developed",
+                "workload gini",
+            ],
+            rows,
+            title="Who develops the broker pool? (14 days, learning-by-doing on)",
+        )
+    )
+    print(
+        "\nTop-k concentrates practice on one or two stars (Matthew effect); "
+        "RR develops everyone but burns utility; capacity-aware assignment "
+        "develops a broad tier while *earning* the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

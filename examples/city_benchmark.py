@@ -1,0 +1,54 @@
+"""City benchmark — the full Fig. 11-style comparison on a real-like city.
+
+Runs the complete algorithm roster on a scaled-down real-like City A
+(Table IV statistics) and prints the overall utility/time table, the
+Sec. VII-D improvement fractions and the top-broker workload picture.
+
+Run with::
+
+    python examples/city_benchmark.py [A|B|C]
+"""
+
+import sys
+
+from repro.experiments import evaluate_city, format_series, format_table
+
+
+def main() -> None:
+    city = sys.argv[1] if len(sys.argv) > 1 else "A"
+    print(f"Evaluating real-like City {city} (scale 0.03) — this takes a minute...\n")
+    evaluation = evaluate_city(city, scale=0.03, seed=7)
+
+    print(
+        format_table(
+            ["algorithm", "total utility", "decision s"],
+            evaluation.utility_table(),
+            title=f"Overall comparison (Fig. 11, City {city})",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["algorithm", "brokers improved vs Top-3"],
+            sorted(evaluation.improved_vs_top3.items()),
+            title="Per-broker improvement (Sec. VII-D)",
+        )
+    )
+    print(f"RR degrades {evaluation.rr_degraded_vs_top3:.1%} of brokers vs Top-3")
+    print()
+    workloads = {
+        name: values for name, values in evaluation.top_workload_series(top_n=8).items()
+        if name in ("Top-3", "RR", "CTop-3", "LACB")
+    }
+    print(
+        format_series(
+            "rank",
+            list(range(1, 9)),
+            workloads,
+            title="Top-broker mean daily workloads (Fig. 10)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

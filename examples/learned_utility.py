@@ -1,0 +1,109 @@
+"""Learned utility — replace the deployed utility oracle with a GBDT.
+
+Def. 2 notes that the matching utility ``u_{r,b}`` "can be learned from
+historical assignments using models such as XGBoost".  This example closes
+that loop end-to-end:
+
+1. run one "historical" period under the incumbent Top-3 recommendation,
+   logging every served (request, broker) pair with its realized outcome;
+2. fit the from-scratch gradient-boosted-trees utility model on that log;
+3. run LACB-Opt twice on a fresh evaluation period — once with the
+   platform's deployed utility predictor, once with the learned GBDT —
+   and compare realized utility.
+
+Run with::
+
+    python examples/learned_utility.py
+"""
+
+import numpy as np
+
+from repro import SyntheticConfig, generate_city, make_matcher, run_algorithm
+from repro.boosting import UtilityModel
+from repro.core.types import AssignedPair, Assignment
+from repro.experiments import format_table
+from repro.simulation.utility import ground_truth_affinity
+
+
+def collect_history(platform, rng):
+    """One period of Top-3 service, logged pair by pair."""
+    matcher = make_matcher("Top-3", platform, seed=1)
+    requests, brokers, outcomes = [], [], []
+    platform.reset()
+    for day in range(platform.num_days):
+        contexts = platform.start_day(day)
+        matcher.begin_day(day, contexts)
+        for batch in range(platform.batches_per_day):
+            batch_requests = platform.batch_requests(day, batch)
+            utilities = platform.predicted_utilities(batch_requests)
+            assignment = matcher.assign_batch(day, batch, batch_requests, utilities)
+            platform.submit_assignment(assignment)
+            affinity = ground_truth_affinity(
+                platform.population, platform.stream,
+                np.array([pair.request_id for pair in assignment.pairs]),
+            )
+            for row, pair in enumerate(assignment.pairs):
+                requests.append(pair.request_id)
+                brokers.append(pair.broker_id)
+                # The platform observes a noisy per-pair conversion signal.
+                outcomes.append(
+                    float(np.clip(affinity[row, pair.broker_id] + rng.normal(0, 0.02), 0, 1))
+                )
+        outcome = platform.finish_day()
+        matcher.end_day(day, outcome, contexts)
+    return np.array(requests), np.array(brokers), np.array(outcomes)
+
+
+class LearnedUtilityPlatform:
+    """Platform wrapper answering utility queries from the learned model."""
+
+    def __init__(self, platform, model):
+        self._platform = platform
+        self._model = model
+
+    def __getattr__(self, name):
+        return getattr(self._platform, name)
+
+    def predicted_utilities(self, request_indices):
+        return self._model.predict_matrix(
+            self._platform.population, self._platform.stream, request_indices
+        )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    config = SyntheticConfig(
+        num_brokers=120, num_requests=4800, num_days=8, imbalance=0.02, seed=21
+    )
+    platform = generate_city(config)
+
+    print("Collecting one period of historical Top-3 assignments...")
+    requests, brokers, outcomes = collect_history(platform, rng)
+    print(f"  {len(requests)} served pairs logged")
+
+    print("Fitting the gradient-boosted utility model...")
+    model = UtilityModel(num_rounds=60, rng=rng).fit_from_history(
+        platform.population, platform.stream, requests, brokers, outcomes
+    )
+
+    print("Evaluating LACB-Opt with both utility sources...\n")
+    deployed = run_algorithm(platform, make_matcher("LACB-Opt", platform, seed=5))
+    learned_platform = LearnedUtilityPlatform(platform, model)
+    learned = run_algorithm(learned_platform, make_matcher("LACB-Opt", platform, seed=5))
+
+    print(
+        format_table(
+            ["utility source", "realized total utility"],
+            [
+                ("deployed predictor (oracle + noise)", deployed.total_realized_utility),
+                ("learned GBDT (from history)", learned.total_realized_utility),
+            ],
+            title="LACB-Opt under different utility models",
+        )
+    )
+    ratio = learned.total_realized_utility / deployed.total_realized_utility
+    print(f"\nThe learned utility model retains {ratio:.0%} of the deployed model's value.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setuptools shim; all metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""The matcher protocol every compared algorithm implements.
+
+The experiment runner drives a matcher through the platform's day loop::
+
+    matcher.begin_day(day, contexts)
+    for each batch:
+        assignment = matcher.assign_batch(day, batch, request_ids, utilities)
+    matcher.end_day(day, outcome, contexts)
+
+Matchers never see ground truth — only the deployed model's predicted
+utilities and the end-of-day realized feedback (workloads and sign-up
+rates), exactly the information the paper's platform reveals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.types import Assignment, DayOutcome
+
+
+class Matcher(ABC):
+    """Base class of all broker-matching algorithms."""
+
+    #: Human-readable algorithm name used in reports and figures.
+    name: str = "matcher"
+
+    @abstractmethod
+    def begin_day(self, day: int, contexts: np.ndarray) -> None:
+        """Observe the day's broker working-status contexts."""
+
+    @abstractmethod
+    def assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
+        """Produce the assignment ``M^(i)`` for one batch of requests.
+
+        Args:
+            day / batch: interval coordinates.
+            request_ids: global ids of the requests in the batch.
+            utilities: ``(|R_batch|, |B|)`` predicted utilities ``u_{r,b}``.
+        """
+
+    def end_day(self, day: int, outcome: DayOutcome, contexts: np.ndarray) -> None:
+        """Receive realized end-of-day feedback (optional hook)."""

@@ -1,0 +1,84 @@
+"""Constrained Top-K (CTop-K) — capacity-aware recommendation.
+
+The extension of Top-K the paper compares against (Christakopoulou et al.,
+cited as [24]): the platform observes the *city-level* workload/sign-up
+relation (Fig. 2) and empirically picks one capacity for all brokers
+(45 / 55 / 40 for Cities A / B / C).  Brokers at capacity are excluded from
+the day's further recommendations; otherwise CTop-K behaves like Top-K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Matcher
+from repro.core.types import AssignedPair, Assignment
+
+
+class ConstrainedTopKRecommender(Matcher):
+    """Top-K recommendation under a single empirical capacity.
+
+    Args:
+        k: number of recommended brokers per request.
+        num_brokers: pool size.
+        capacity: the empirically chosen city-level capacity.
+        rng: client-choice randomness.
+        greedy_client: always pick the best of the K (default: sample
+            proportional to utility).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        num_brokers: int,
+        capacity: float,
+        rng: np.random.Generator,
+        greedy_client: bool = False,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.k = k
+        self.num_brokers = num_brokers
+        self.capacity = float(capacity)
+        self.rng = rng
+        self.greedy_client = greedy_client
+        self.name = f"CTop-{k}"
+        self._workloads = np.zeros(num_brokers, dtype=int)
+
+    def begin_day(self, day: int, contexts: np.ndarray) -> None:
+        """Reset the daily workload counters the capacity is checked against."""
+        self._workloads = np.zeros(self.num_brokers, dtype=int)
+
+    def assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
+        """Top-k over the brokers still below the empirical capacity."""
+        request_ids = np.asarray(request_ids, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        assignment = Assignment(day=day, batch=batch)
+        for row, request_id in enumerate(request_ids):
+            open_brokers = np.nonzero(self._workloads < self.capacity)[0]
+            if open_brokers.size == 0:
+                break  # everybody is at the empirical capacity
+            k = min(self.k, open_brokers.size)
+            row_utilities = utilities[row, open_brokers]
+            top_local = np.argpartition(row_utilities, -k)[-k:]
+            recommended = open_brokers[top_local]
+            weights = utilities[row, recommended]
+            if self.greedy_client or k == 1:
+                choice = recommended[int(np.argmax(weights))]
+            else:
+                total = float(weights.sum())
+                probs = weights / total if total > 0 else np.full(k, 1.0 / k)
+                choice = recommended[int(self.rng.choice(k, p=probs))]
+            self._workloads[choice] += 1
+            assignment.pairs.append(
+                AssignedPair(int(request_id), int(choice), float(utilities[row, choice]))
+            )
+        return assignment

@@ -1,0 +1,78 @@
+"""Randomized Recommendation (RR) — the fairness-flavoured baseline.
+
+Extends fair matching (Basik et al., cited as [23]) to broker matching:
+each request is served by a broker sampled with the broker's *service
+quality* as the sampling weight.  Spreading requests over the whole pool
+avoids overload by construction, but ignores the request-broker fit, so
+total utility suffers — the trade-off Fig. 9/10 of the paper illustrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Matcher
+from repro.core.types import AssignedPair, Assignment, DayOutcome
+
+
+class RandomizedRecommender(Matcher):
+    """Quality-weighted random broker sampling.
+
+    Service quality is tracked online as a running mean of each broker's
+    observed daily sign-up rates; before any feedback the weights are
+    uniform.
+
+    Args:
+        num_brokers: pool size.
+        rng: sampling randomness.
+    """
+
+    name = "RR"
+
+    def __init__(self, num_brokers: int, rng: np.random.Generator) -> None:
+        if num_brokers <= 0:
+            raise ValueError(f"num_brokers must be positive, got {num_brokers}")
+        self.num_brokers = num_brokers
+        self.rng = rng
+        self._quality_sum = np.zeros(num_brokers)
+        self._quality_count = np.zeros(num_brokers)
+
+    def _weights(self) -> np.ndarray:
+        observed = self._quality_count > 0
+        quality = np.full(self.num_brokers, 0.1)
+        quality[observed] = np.maximum(
+            self._quality_sum[observed] / self._quality_count[observed], 1e-3
+        )
+        return quality / quality.sum()
+
+    def begin_day(self, day: int, contexts: np.ndarray) -> None:
+        """Refresh the quality-proportional sampling weights."""
+        self._day_weights = self._weights()
+
+    def assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
+        """Sample one broker per request, weighted by service quality."""
+        request_ids = np.asarray(request_ids, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        assignment = Assignment(day=day, batch=batch)
+        if request_ids.size == 0:
+            return assignment
+        brokers = self.rng.choice(
+            self.num_brokers, size=request_ids.size, p=self._day_weights
+        )
+        for row, (request_id, broker) in enumerate(zip(request_ids, brokers)):
+            assignment.pairs.append(
+                AssignedPair(int(request_id), int(broker), float(utilities[row, broker]))
+            )
+        return assignment
+
+    def end_day(self, day: int, outcome: DayOutcome, contexts: np.ndarray) -> None:
+        """Fold today's sign-up rates into the running quality means."""
+        served = outcome.workloads > 0
+        self._quality_sum[served] += outcome.signup_rates[served]
+        self._quality_count[served] += 1

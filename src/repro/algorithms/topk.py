@@ -1,0 +1,70 @@
+"""Top-K recommendation — the status quo the paper argues against.
+
+For each request independently, the platform lists the K brokers with the
+highest predicted utility (Fig. 1 shows K = 3 on Beike) and the client
+picks one of them.  No capacity is ever consulted, so demand concentrates
+on the same few top brokers — the root cause of the overloaded-top-brokers
+phenomenon of Sec. II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Matcher
+from repro.core.types import AssignedPair, Assignment
+
+
+class TopKRecommender(Matcher):
+    """Top-K recommendation with a utility-proportional client choice.
+
+    Args:
+        k: number of recommended brokers per request (paper evaluates
+            K = 1 and K = 3).
+        rng: client-choice randomness; with K = 1 the choice is forced.
+        greedy_client: when ``True`` the client always picks the best of
+            the K recommended brokers; otherwise the pick is sampled with
+            probability proportional to utility (the default, mimicking
+            real click behaviour).
+    """
+
+    def __init__(self, k: int, rng: np.random.Generator, greedy_client: bool = False) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.rng = rng
+        self.greedy_client = greedy_client
+        self.name = f"Top-{k}"
+
+    def begin_day(self, day: int, contexts: np.ndarray) -> None:
+        """Top-K is stateless across days."""
+
+    def assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
+        """Recommend the top-k brokers per request; the client picks one."""
+        request_ids = np.asarray(request_ids, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        assignment = Assignment(day=day, batch=batch)
+        if request_ids.size == 0:
+            return assignment
+        k = min(self.k, utilities.shape[1])
+        # Indices of the top-k brokers per request (unordered is fine).
+        top = np.argpartition(utilities, -k, axis=1)[:, -k:]
+        for row, request_id in enumerate(request_ids):
+            recommended = top[row]
+            weights = utilities[row, recommended]
+            if self.greedy_client or k == 1:
+                choice = recommended[int(np.argmax(weights))]
+            else:
+                total = float(weights.sum())
+                probs = weights / total if total > 0 else np.full(k, 1.0 / k)
+                choice = recommended[int(self.rng.choice(k, p=probs))]
+            assignment.pairs.append(
+                AssignedPair(int(request_id), int(choice), float(utilities[row, choice]))
+            )
+        return assignment

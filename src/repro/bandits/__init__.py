@@ -1,0 +1,35 @@
+"""Contextual bandits for online workload-capacity estimation (Sec. V).
+
+The workload capacity estimator is a contextual bandit whose arms are
+candidate daily capacities ``C``, whose context is the broker's working
+status ``x_b`` and whose reward is the realized daily sign-up rate ``s_b``
+(Sec. V-B).  This package provides
+
+- :class:`~repro.bandits.base.CapacityEstimator` — the estimator protocol;
+- :class:`~repro.bandits.linucb.LinUCBBandit` — the standard linear UCB of
+  Eq. 3 (the LinUCB [Li et al. 2010] family);
+- :class:`~repro.bandits.neural_ucb.NNUCBBandit` — the paper's NN-enhanced
+  UCB (Alg. 1, Eq. 5-6) with exact or diagonal covariance;
+- :class:`~repro.bandits.personalization.PersonalizedCapacityEstimator` —
+  per-broker fine-tuning of the last layer by layer transfer (Sec. V-D);
+- :mod:`~repro.bandits.regret` — regret accounting and the Theorem 1 bound.
+"""
+
+from repro.bandits.base import CapacityEstimator, FixedCapacityEstimator
+from repro.bandits.linucb import LinUCBBandit
+from repro.bandits.neural_ucb import NNUCBBandit
+from repro.bandits.personalization import PersonalizedCapacityEstimator
+from repro.bandits.regret import RegretTracker, theorem1_bound
+from repro.bandits.thompson import NeuralThompsonBandit, make_thompson_bandit
+
+__all__ = [
+    "CapacityEstimator",
+    "FixedCapacityEstimator",
+    "LinUCBBandit",
+    "NNUCBBandit",
+    "NeuralThompsonBandit",
+    "PersonalizedCapacityEstimator",
+    "RegretTracker",
+    "make_thompson_bandit",
+    "theorem1_bound",
+]

@@ -1,0 +1,251 @@
+"""NN-enhanced UCB — the paper's capacity-estimation policy (Alg. 1).
+
+The linear reward model of LinUCB is replaced by an MLP ``S_theta(x, c)``
+(Eq. 4) and the exploration bonus uses the network's parameter gradient
+(Eq. 5):
+
+    UCB_{x,c} = S_theta(x, c) + alpha * sqrt(g_theta(x, c)^T D^{-1} g_theta(x, c))
+
+``D`` starts at ``lambda I`` and accumulates gradient outer products of the
+chosen arms (Alg. 1 line 12).  Because ``D`` is ``d x d`` for a ``d``-
+parameter network, two regimes are supported:
+
+- ``"full"`` — exact ``D`` with Sherman-Morrison updates of its inverse;
+  only practical for small reward models (tests, ablations);
+- ``"diagonal"`` — the standard NeuralUCB-style diagonal approximation,
+  the default for realistic network sizes.
+
+Observed trial triples ``(x, w, s)`` accumulate in a buffer of
+``batchSize`` (preset 16, Sec. VII-A) and flushing the buffer minimizes the
+regularized squared loss of Eq. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandits.base import CapacityEstimator
+from repro.core.config import BanditConfig
+from repro.core.types import TrialTriple
+from repro.nn import MLP, Adam
+
+
+class NNUCBBandit(CapacityEstimator):
+    """Contextual bandit ``B_{theta,D}`` with an MLP reward model.
+
+    Args:
+        context_dim: dimension of the working-status context ``x``.
+        config: bandit hyper-parameters (Alg. 1 inputs).
+        rng: randomness source for Gaussian parameter initialization.
+    """
+
+    def __init__(
+        self,
+        context_dim: int,
+        config: BanditConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if context_dim <= 0:
+            raise ValueError(f"context_dim must be positive, got {context_dim}")
+        self.config = config
+        self.capacities = np.asarray(config.candidate_capacities, dtype=float)
+        self._cap_norm = float(self.capacities.max())
+        layer_sizes = [context_dim + 1 + self.capacities.size, *config.hidden_sizes, 1]
+        self.network = MLP(layer_sizes, rng)
+        self.optimizer = Adam(config.learning_rate)
+        self._rng = rng
+        self._arm_pulls = np.zeros(self.capacities.size, dtype=int)
+        dim = self.network.num_params
+        if config.covariance == "full":
+            self._d_inv: np.ndarray | None = np.eye(dim) / config.lam
+            self._d_diag: np.ndarray | None = None
+        else:
+            self._d_inv = None
+            self._d_diag = np.full(dim, config.lam)
+        self._buffer: list[TrialTriple] = []
+        self._replay: list[TrialTriple] = []
+        self.num_updates = 0
+        self.num_train_steps = 0
+
+    # ------------------------------------------------------------------
+    # Scoring (Eq. 5)
+    # ------------------------------------------------------------------
+    def _features(self, context: np.ndarray, capacity: float) -> np.ndarray:
+        """Joint input ``[x; c]``: context, scaled capacity, one-hot arm.
+
+        The scalar alone gets smoothed away during training — it is one
+        feature among dozens and the reward's dependence on it is a small
+        bump, so the fit degenerates to a monotone trend and the argmax
+        pins to an endpoint.  A one-hot of the nearest grid arm gives every
+        arm its own first-layer weights, making per-arm reward levels
+        trivially expressible while the scalar keeps the ordinal structure.
+        """
+        onehot = np.zeros(self.capacities.size)
+        onehot[int(np.argmin(np.abs(self.capacities - capacity)))] = 1.0
+        return np.concatenate(
+            [np.asarray(context, dtype=float), [capacity / self._cap_norm], onehot]
+        )
+
+    def predicted_rewards(self, context: np.ndarray) -> np.ndarray:
+        """``S_theta(x, c)`` for every candidate capacity, in one batch."""
+        rows = np.stack([self._features(context, c) for c in self.capacities])
+        return self.network.predict(rows)
+
+    def exploration_bonus(self, gradient: np.ndarray) -> float:
+        """``sqrt(g^T D^{-1} g)`` under the configured covariance regime."""
+        if self._d_inv is not None:
+            value = float(gradient @ self._d_inv @ gradient)
+        else:
+            value = float(np.sum(gradient**2 / self._d_diag))
+        return float(np.sqrt(max(value, 0.0)))
+
+    def ucb_scores(self, context: np.ndarray) -> np.ndarray:
+        """Upper confidence bound of every candidate capacity (Eq. 5)."""
+        means = self.predicted_rewards(context)
+        bonuses = np.array(
+            [
+                self.exploration_bonus(
+                    self.network.param_gradient(self._features(context, c))
+                )
+                for c in self.capacities
+            ]
+        )
+        return means + self.config.alpha * bonuses
+
+    # ------------------------------------------------------------------
+    # Alg. 1: explore, update covariance, learn from feedback
+    # ------------------------------------------------------------------
+    def select_arm(self, context: np.ndarray) -> int:
+        """Arm index with maximum UCB, with three practical safeguards.
+
+        1. *Coverage*: while some arm has fewer than ``min_arm_pulls``
+           global pulls, the least-pulled arm is chosen — without it the
+           untrained network's near-constant scores make ``argmax``
+           systematically return one arbitrary capacity and the reward
+           model never sees the rest of the grid.
+        2. *Epsilon exploration*: capacity choices gate which workloads can
+           be observed, so a small exploration floor keeps data flowing.
+        3. *Conservative indifference*: among arms whose score is within
+           ``tie_tolerance`` of the maximum, the smallest capacity wins.
+           A demand-limited broker's reward is flat in its own capacity, so
+           its argmax is noise — yet granting it a huge capacity lets the
+           matcher overload it the day demand shifts.  Brokers with a real
+           learned peak are unaffected (their peak clears the tolerance).
+        """
+        return self._pick(self.ucb_scores, context)
+
+    def _pick(self, score_fn, context: np.ndarray) -> int:
+        if self._arm_pulls.min() < self.config.min_arm_pulls:
+            return int(np.argmin(self._arm_pulls))
+        if self.config.epsilon > 0 and self._rng.random() < self.config.epsilon:
+            return int(self._rng.integers(self.capacities.size))
+        scores = score_fn(context)
+        spread = float(scores.max() - scores.min())
+        threshold = scores.max() - self.config.tie_tolerance * max(spread, 1e-12)
+        return int(np.nonzero(scores >= threshold)[0][0])
+
+    def estimate(self, context: np.ndarray, broker_id: int | None = None) -> float:
+        """Choose the capacity with maximum UCB; update ``D`` (line 12)."""
+        chosen = self.select_arm(context)
+        capacity = float(self.capacities[chosen])
+        self._arm_pulls[chosen] += 1
+        gradient = self.network.param_gradient(self._features(context, capacity))
+        self._update_covariance(gradient)
+        return capacity
+
+    def _update_covariance(self, gradient: np.ndarray) -> None:
+        """``D <- D + g g^T`` (diagonal: ``D <- D + g*g``)."""
+        if self._d_inv is not None:
+            d_inv_g = self._d_inv @ gradient
+            denom = 1.0 + float(gradient @ d_inv_g)
+            self._d_inv -= np.outer(d_inv_g, d_inv_g) / denom
+        else:
+            self._d_diag += gradient**2
+
+    def update(
+        self,
+        context: np.ndarray,
+        workload: float,
+        reward: float,
+        broker_id: int | None = None,
+        capacity: float | None = None,
+    ) -> None:
+        """Buffer the trial; train when the buffer reaches batchSize.
+
+        The stored arm input is the chosen capacity when ``train_on`` is
+        ``"capacity"`` and a capacity was supplied (Alg. 1 line 16),
+        otherwise the realized workload (Eq. 6 variant).
+        """
+        if self.config.train_on == "capacity" and capacity is not None:
+            arm_input = int(round(capacity))
+        else:
+            arm_input = int(workload)
+        self._buffer.append(
+            TrialTriple(np.asarray(context, dtype=float), arm_input, float(reward))
+        )
+        self.num_updates += 1
+        if len(self._buffer) >= self.config.batch_size:
+            self._train_on_buffer()
+
+    def _train_on_buffer(self) -> None:
+        """Minimize the regularized loss of Eq. 6 over buffered history.
+
+        The fresh buffer is folded into a capped replay of past trials and
+        the network trains on a random sample of that history — retraining
+        only on the 16 newest samples would forget everything earlier.
+        """
+        self._replay.extend(self._buffer)
+        self._buffer.clear()
+        if len(self._replay) > self.config.replay_size:
+            del self._replay[: len(self._replay) - self.config.replay_size]
+
+        picked = self._stratified_sample()
+        sample_size = picked.size
+        rows = np.stack(
+            [
+                self._features(self._replay[i].context, float(self._replay[i].workload))
+                for i in picked
+            ]
+        )
+        targets = np.array([self._replay[i].reward for i in picked])
+        batch = self.config.minibatch
+        for _ in range(self.config.train_epochs):
+            order = self._rng.permutation(sample_size)
+            for start in range(0, sample_size, batch):
+                chunk = order[start : start + batch]
+                self.network.train_step(
+                    rows[chunk], targets[chunk], self.optimizer, lam=self.config.lam
+                )
+                self.num_train_steps += 1
+
+    def _stratified_sample(self) -> np.ndarray:
+        """Replay indices balanced across arm values.
+
+        The selection policy concentrates pulls on whatever region it
+        currently prefers, so the raw replay is heavily imbalanced (one arm
+        can hold >80% of the samples) and a uniform sample would fit that
+        arm's mean everywhere.  Sampling an (approximately) equal number of
+        rows per distinct arm value keeps the whole reward curve in view.
+        """
+        arms = np.array([triple.workload for triple in self._replay])
+        unique = np.unique(arms)
+        per_arm = max(1, self.config.replay_sample // unique.size)
+        chunks = []
+        for arm in unique:
+            indices = np.nonzero(arms == arm)[0]
+            if indices.size > per_arm:
+                indices = self._rng.choice(indices, size=per_arm, replace=False)
+            chunks.append(indices)
+        return np.concatenate(chunks)
+
+    def flush(self) -> None:
+        """Force-train on a partially filled buffer (end-of-run cleanup)."""
+        if self._buffer:
+            self._train_on_buffer()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def theorem1_parameters(self) -> tuple[int, int, float]:
+        """``(L, |C|, xi)`` feeding the Theorem 1 regret bound."""
+        return self.network.depth, int(self.capacities.size), self.network.max_singular_value()

@@ -1,0 +1,130 @@
+"""CART-style regression trees (the base learner of the GBDT)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int
+    threshold: float
+    value: float
+    left: int
+    right: int
+
+
+class RegressionTree:
+    """Binary regression tree grown by variance-reduction splits.
+
+    Split points are searched over feature quantiles (histogram-style, as
+    XGBoost's approximate algorithm does) rather than every distinct value,
+    keeping fitting fast on wide pair-feature matrices.
+
+    Args:
+        max_depth: maximum tree depth.
+        min_samples_leaf: minimum samples on each side of a split.
+        num_thresholds: candidate quantile thresholds per feature.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        num_thresholds: int = 16,
+    ) -> None:
+        if max_depth <= 0 or min_samples_leaf <= 0 or num_thresholds <= 0:
+            raise ValueError("max_depth, min_samples_leaf and num_thresholds must be positive")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.num_thresholds = num_thresholds
+        self._nodes: list[_Node] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return len(self._nodes)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Grow the tree on a ``(n, d)`` design matrix."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2 or features.shape[0] != targets.shape[0]:
+            raise ValueError(
+                f"inconsistent shapes: features {features.shape}, targets {targets.shape}"
+            )
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self._nodes = []
+        self._grow(features, targets, np.arange(features.shape[0]), depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, rows: np.ndarray, depth: int) -> int:
+        node_index = len(self._nodes)
+        value = float(targets[rows].mean())
+        self._nodes.append(_Node(feature=-1, threshold=0.0, value=value, left=-1, right=-1))
+        if depth >= self.max_depth or rows.size < 2 * self.min_samples_leaf:
+            return node_index
+        split = self._best_split(features, targets, rows)
+        if split is None:
+            return node_index
+        feature, threshold = split
+        mask = features[rows, feature] <= threshold
+        left = self._grow(features, targets, rows[mask], depth + 1)
+        right = self._grow(features, targets, rows[~mask], depth + 1)
+        node = self._nodes[node_index]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = left
+        node.right = right
+        return node_index
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Variance-reduction-optimal (feature, threshold) or ``None``."""
+        y = targets[rows]
+        base_sse = float(np.sum((y - y.mean()) ** 2))
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        quantiles = np.linspace(0.05, 0.95, self.num_thresholds)
+        for feature in range(features.shape[1]):
+            column = features[rows, feature]
+            thresholds = np.unique(np.quantile(column, quantiles))
+            for threshold in thresholds:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or rows.size - n_left < self.min_samples_leaf:
+                    continue
+                left, right = y[mask], y[~mask]
+                sse = float(np.sum((left - left.mean()) ** 2) + np.sum((right - right.mean()) ** 2))
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict a ``(n,)`` vector for a ``(n, d)`` design matrix."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if not self._nodes:
+            raise RuntimeError("predict() called before fit()")
+        out = np.empty(features.shape[0])
+        # Vectorized routing: keep an index set per frontier node.
+        frontier = [(0, np.arange(features.shape[0]))]
+        while frontier:
+            node_index, rows = frontier.pop()
+            node = self._nodes[node_index]
+            if node.feature < 0:
+                out[rows] = node.value
+                continue
+            mask = features[rows, node.feature] <= node.threshold
+            if mask.any():
+                frontier.append((node.left, rows[mask]))
+            if (~mask).any():
+                frontier.append((node.right, rows[~mask]))
+        return out

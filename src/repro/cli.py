@@ -1,0 +1,270 @@
+"""Command-line entry points (``repro-lacb`` / ``python -m repro``).
+
+Subcommands:
+
+- ``compare``  — run the full algorithm roster on one synthetic city;
+- ``sweep``    — one Fig. 8 column (vary a Table III factor);
+- ``city``     — the Fig. 9-11 evaluation on a real-like city;
+- ``motivate`` — the Sec. II measurement study (Figs. 2-4);
+- ``timing``   — the per-batch matching-cost profile (the CBS speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.algorithms import ALGORITHM_NAMES, make_matcher
+from repro.experiments import (
+    ascii_chart,
+    ascii_histogram,
+    evaluate_city,
+    format_series,
+    format_table,
+    matching_time_profile,
+    run_algorithm,
+    save_sweep_result,
+    signup_vs_workload,
+    sweep,
+    top_broker_load_ratio,
+    workload_concentration,
+)
+from repro.simulation import SyntheticConfig, generate_city
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--brokers", type=int, default=200, help="number of brokers |B|")
+    parser.add_argument("--requests", type=int, default=8000, help="number of requests |R|")
+    parser.add_argument("--days", type=int, default=14, help="covering days")
+    parser.add_argument("--imbalance", type=float, default=0.015, help="sigma = |R|/|B| per batch")
+    parser.add_argument("--seed", type=int, default=7, help="matcher seed")
+    parser.add_argument("--instance-seed", type=int, default=1, help="city generation seed")
+
+
+def _config_from(args: argparse.Namespace) -> SyntheticConfig:
+    return SyntheticConfig(
+        num_brokers=args.brokers,
+        num_requests=args.requests,
+        num_days=args.days,
+        imbalance=args.imbalance,
+        seed=args.instance_seed,
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    platform = generate_city(_config_from(args))
+    rows = []
+    for name in args.algorithms:
+        matcher = make_matcher(name, platform, seed=args.seed)
+        run = run_algorithm(platform, matcher)
+        rows.append(
+            (
+                name,
+                run.total_realized_utility,
+                run.decision_time,
+                top_broker_load_ratio(run),
+            )
+        )
+    print(
+        format_table(
+            ["algorithm", "total utility", "decision s", "top-1 load ratio"],
+            rows,
+            title=f"Synthetic city |B|={args.brokers} |R|={args.requests} days={args.days}",
+        )
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    result = sweep(
+        args.factor,
+        args.values,
+        _config_from(args),
+        algorithms=tuple(args.algorithms),
+        seed=args.seed,
+    )
+    print(format_series(args.factor, result.values, result.utilities, title="Total utility"))
+    print()
+    print(format_series(args.factor, result.values, result.times, title="Decision time (s)"))
+    if args.chart and len(result.values) >= 2:
+        print()
+        print(
+            ascii_chart(
+                result.values,
+                result.utilities,
+                title=f"Total utility vs {args.factor}",
+            )
+        )
+    if args.output:
+        save_sweep_result(result, args.output)
+        print(f"\nsweep saved to {args.output}")
+
+
+def _cmd_city(args: argparse.Namespace) -> None:
+    evaluation = evaluate_city(args.city, scale=args.scale, seed=args.seed)
+    print(
+        format_table(
+            ["algorithm", "total utility", "decision s"],
+            evaluation.utility_table(),
+            title=f"Real-like City {args.city} (scale {args.scale})",
+        )
+    )
+    if args.chart:
+        print()
+        names = list(evaluation.results)
+        utilities = [evaluation.results[name].total_realized_utility for name in names]
+        print(ascii_histogram(names, utilities, title="Total realized utility"))
+    if evaluation.improved_vs_top3:
+        print()
+        print(
+            format_table(
+                ["algorithm", "brokers improved vs Top-3"],
+                sorted(evaluation.improved_vs_top3.items()),
+            )
+        )
+        print(f"RR degrades {evaluation.rr_degraded_vs_top3:.1%} of brokers vs Top-3")
+
+
+def _cmd_motivate(args: argparse.Namespace) -> None:
+    platform = generate_city(_config_from(args))
+    study = signup_vs_workload(platform, seed=args.seed)
+    rows = zip(study.bin_centers, study.mean_signup, study.count)
+    print(
+        format_table(
+            ["workload bin", "mean sign-up rate", "broker-days"],
+            rows,
+            title="Fig. 2: sign-up rate vs daily workload (under Top-3)",
+        )
+    )
+    print(f"below-threshold band: {study.low_band[0]:.1%} ~ {study.low_band[1]:.1%}")
+    print(f"above-threshold band: {study.high_band[0]:.1%} ~ {study.high_band[1]:.1%}")
+    print(f"Welch's t-test p-value: {study.welch_p_value:.2e}")
+    concentration = workload_concentration(platform, seed=args.seed)
+    print(
+        f"\nFig. 4: top-1 broker load = {concentration.top1_ratio:.2f}x the city average; "
+        f"{concentration.above_sweet_spot} top brokers above the typical sweet spot"
+    )
+
+
+def _cmd_develop(args: argparse.Namespace) -> None:
+    config = _config_from(args)
+    config = type(config)(**{**config.__dict__, "skill_growth": args.growth})
+    from repro.experiments.metrics import gini
+    from repro.simulation import generate_city
+
+    platform = generate_city(config)
+    population = platform.population
+    initial = population.potential_quality * (0.55 + 0.45 * population.experience)
+    rows = []
+    for name in args.algorithms:
+        result = run_algorithm(platform, make_matcher(name, platform, seed=args.seed))
+        closed = population.base_quality - initial
+        potential = np.maximum(population.potential_quality - initial, 1e-12)
+        rows.append(
+            (
+                name,
+                result.total_realized_utility,
+                float(closed.sum() / potential.sum()),
+                int(np.sum(closed > 0.1 * potential)),
+                gini(result.broker_workload),
+            )
+        )
+    print(
+        format_table(
+            ["policy", "total utility", "potential realized", "brokers developed", "workload gini"],
+            rows,
+            title=f"Matthew effect under learning-by-doing (growth={args.growth})",
+        )
+    )
+
+
+def _cmd_timing(args: argparse.Namespace) -> None:
+    rows = []
+    for num_brokers in args.values:
+        profile = matching_time_profile(int(num_brokers), args.batch, seed=args.seed)
+        rows.append(
+            (
+                int(num_brokers),
+                profile.km_square_seconds,
+                profile.cbs_km_seconds,
+                profile.speedup,
+            )
+        )
+    print(
+        format_table(
+            ["|B|", "KM (square) s", "CBS+KM s", "speedup"],
+            rows,
+            title=f"Per-batch matching cost, |R|={args.batch}",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lacb",
+        description="Capacity-aware broker matching (ICDE 2023) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run the algorithm roster on a synthetic city")
+    _add_config_arguments(compare)
+    compare.add_argument(
+        "--algorithms", nargs="+", default=list(ALGORITHM_NAMES), choices=ALGORITHM_NAMES
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    sweep_cmd = sub.add_parser("sweep", help="one Fig. 8 column")
+    _add_config_arguments(sweep_cmd)
+    sweep_cmd.add_argument("factor", choices=("num_brokers", "num_requests", "num_days", "imbalance"))
+    sweep_cmd.add_argument("values", nargs="+", type=float)
+    sweep_cmd.add_argument(
+        "--algorithms", nargs="+", default=["Top-3", "CTop-3", "AN", "LACB", "LACB-Opt"],
+        choices=ALGORITHM_NAMES,
+    )
+    sweep_cmd.add_argument("--chart", action="store_true", help="render an ASCII chart")
+    sweep_cmd.add_argument("--output", help="save the sweep as JSON")
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    city = sub.add_parser("city", help="Fig. 9-11 evaluation on a real-like city")
+    city.add_argument("city", choices=("A", "B", "C"))
+    city.add_argument("--scale", type=float, default=0.05)
+    city.add_argument("--seed", type=int, default=7)
+    city.add_argument("--chart", action="store_true", help="render an ASCII histogram")
+    city.set_defaults(func=_cmd_city)
+
+    motivate = sub.add_parser("motivate", help="the Sec. II measurement study")
+    _add_config_arguments(motivate)
+    motivate.set_defaults(func=_cmd_motivate)
+
+    develop = sub.add_parser(
+        "develop", help="the Matthew-effect study under learning-by-doing"
+    )
+    _add_config_arguments(develop)
+    develop.add_argument("--growth", type=float, default=0.02, help="learning-by-doing rate")
+    develop.add_argument(
+        "--algorithms", nargs="+", default=["Top-3", "RR", "LACB-Opt"], choices=ALGORITHM_NAMES
+    )
+    develop.set_defaults(func=_cmd_develop)
+
+    timing = sub.add_parser("timing", help="per-batch matching cost profile")
+    timing.add_argument("values", nargs="+", type=int, help="|B| values")
+    timing.add_argument("--batch", type=int, default=10, help="batch size |R|")
+    timing.add_argument("--seed", type=int, default=0)
+    timing.set_defaults(func=_cmd_timing)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # The sweep factor values arrive as floats; integer factors need casting.
+    if getattr(args, "command", None) == "sweep" and args.factor != "imbalance":
+        args.values = [int(v) for v in args.values]
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Candidate Broker Selection — Alg. 3 (Sec. VI-C).
+
+Theorem 2 / Corollary 1: on an unbalanced bipartite graph ``|R| <= |B|``,
+restricting each request to its ``|R|`` highest-utility brokers preserves
+at least one optimal assignment.  CBS finds those top-``k`` sets in expected
+``O(|B|)`` per request via quickselect with random pivots, so the whole
+pruning costs ``O(|R| |B|)`` and the subsequent KM run shrinks from
+``O(|B|^3)`` to ``O(|R|^3)`` — the LACB-Opt speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def candidate_broker_selection(
+    utilities: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Indices of the ``k`` largest entries (Alg. 3, ``Top_k^r``).
+
+    Iterative quickselect with random pivots, three-way partitioned so
+    duplicate utilities cannot cause quadratic blow-up.  The returned index
+    set is unordered (any ``Top_k`` set works for Theorem 2).
+
+    Args:
+        utilities: ``(|B|,)`` utility row of one request.
+        k: candidate set size; when ``k >= |B|`` all brokers are returned
+            (Alg. 3 lines 1-3).
+        rng: pivot randomness.
+    """
+    utilities = np.asarray(utilities, dtype=float)
+    if utilities.ndim != 1:
+        raise ValueError(f"expected a 1-D utility row, got shape {utilities.shape}")
+    if k <= 0:
+        return np.empty(0, dtype=int)
+    candidates = np.arange(utilities.size)
+    if k >= utilities.size:
+        return candidates
+
+    chosen: list[np.ndarray] = []
+    needed = k
+    while needed > 0:
+        if candidates.size <= needed:
+            chosen.append(candidates)
+            break
+        pivot = utilities[candidates[rng.integers(candidates.size)]]
+        values = utilities[candidates]
+        greater = candidates[values > pivot]   # LC without ties
+        equal = candidates[values == pivot]
+        if greater.size >= needed:
+            candidates = greater               # recurse into LC (line 8)
+            continue
+        chosen.append(greater)                 # take LC, fill from the rest (line 11)
+        needed -= greater.size
+        if equal.size >= needed:
+            chosen.append(equal[:needed])
+            break
+        chosen.append(equal)
+        needed -= equal.size
+        candidates = candidates[values < pivot]
+    return np.concatenate(chosen) if chosen else np.empty(0, dtype=int)
+
+
+def select_candidate_brokers(
+    utilities: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Union of per-request candidate sets over a batch (Sec. VI-C).
+
+    ``U_r Top_k^r`` — the pruned broker pool on which LACB-Opt runs KM.
+
+    Args:
+        utilities: ``(|R|, |B|)`` predicted utility matrix of one batch.
+        k: per-request candidate size (Corollary 1 uses ``k = |R|``).
+        rng: pivot randomness.
+
+    Returns:
+        Sorted unique broker indices participating in the pruned graph.
+    """
+    utilities = np.asarray(utilities, dtype=float)
+    if utilities.ndim != 2:
+        raise ValueError(f"expected a 2-D utility matrix, got shape {utilities.shape}")
+    selected: set[int] = set()
+    for row in utilities:
+        selected.update(int(i) for i in candidate_broker_selection(row, k, rng))
+    return np.array(sorted(selected), dtype=int)

@@ -1,0 +1,129 @@
+"""Typed entities shared across the library.
+
+Definitions follow Sec. III of the paper: a broker is the triple
+``(x_b, w_b, s_b)`` (Def. 1), requests arrive in per-interval batches, and
+an assignment ``M^(i)`` matches requests of interval ``i`` to brokers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Broker:
+    """A broker as in Def. 1: attributes, daily workload, daily sign-up rate.
+
+    Attributes:
+        broker_id: stable integer identifier (index into utility matrices).
+        features: the working-status context vector ``x_b`` (Table II
+            attributes, vectorized).  Refreshed each day by the platform.
+        workload: number of requests served so far *today* (``w_b``).
+        signup_rate: most recent observed daily sign-up rate (``s_b``).
+    """
+
+    broker_id: int
+    features: np.ndarray
+    workload: int = 0
+    signup_rate: float = 0.0
+
+    def reset_day(self, features: np.ndarray) -> None:
+        """Start a new day with a fresh working-status context."""
+        self.features = features
+        self.workload = 0
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request to be served by exactly one broker.
+
+    Attributes:
+        request_id: stable integer identifier.
+        features: client/house feature vector used by the utility model.
+        day: day index on which the request appears.
+        batch: batch (time interval ``i``) index within the day.
+    """
+
+    request_id: int
+    features: np.ndarray
+    day: int
+    batch: int
+
+
+@dataclass(frozen=True)
+class TrialTriple:
+    """One bandit observation ``(x, w, s)`` (Sec. V-B).
+
+    The broker's realized workload ``w`` (which may be below the chosen
+    capacity) together with the realized sign-up rate ``s`` under working
+    status ``x`` is what updates the reward mapping function.
+    """
+
+    context: np.ndarray
+    workload: int
+    reward: float
+
+
+@dataclass(frozen=True)
+class AssignedPair:
+    """One matched (request, broker) edge with its predicted utility."""
+
+    request_id: int
+    broker_id: int
+    utility: float
+
+
+@dataclass
+class Assignment:
+    """The matching ``M^(i)`` produced for one batch.
+
+    Attributes:
+        day: day index.
+        batch: batch index within the day.
+        pairs: matched request-broker pairs.
+    """
+
+    day: int
+    batch: int
+    pairs: list[AssignedPair] = field(default_factory=list)
+
+    @property
+    def predicted_utility(self) -> float:
+        """Sum of input utilities over matched pairs (the reward of Eq. 1)."""
+        return sum(pair.utility for pair in self.pairs)
+
+    def broker_load(self) -> dict[int, int]:
+        """Requests assigned per broker in this batch."""
+        load: dict[int, int] = {}
+        for pair in self.pairs:
+            load[pair.broker_id] = load.get(pair.broker_id, 0) + 1
+        return load
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass
+class DayOutcome:
+    """Realized end-of-day feedback revealed by the platform.
+
+    Attributes:
+        day: day index.
+        workloads: ``(|B|,)`` requests served per broker today.
+        signup_rates: ``(|B|,)`` realized daily sign-up rate per broker
+            (zero for brokers who served nothing).
+        realized_utility: ``(|B|,)`` realized (workload-degraded) utility
+            accrued by each broker today.
+    """
+
+    day: int
+    workloads: np.ndarray
+    signup_rates: np.ndarray
+    realized_utility: np.ndarray
+
+    @property
+    def total_realized_utility(self) -> float:
+        """Total realized utility of the day across all brokers."""
+        return float(np.sum(self.realized_utility))

@@ -1,0 +1,213 @@
+"""Value Function Guided Assignment — Alg. 2 (Sec. VI-B).
+
+Per batch, VFGA:
+
+1. restricts matching to the available brokers ``B+ = {b : w_b < c_b}``
+   (line 5),
+2. refines each candidate edge's utility with the capacity-aware value
+   function for top brokers whose capacity-hit frequency exceeds ``delta``
+   (Eq. 15, line 6),
+3. optionally prunes the broker side with Candidate Broker Selection
+   (Alg. 3) — the LACB-Opt acceleration,
+4. runs Kuhn-Munkres on the (pruned) refined graph (line 7),
+5. books workloads and TD-updates the value function (lines 8-10).
+
+The class is deliberately estimator-agnostic: any capacity vector can be
+fed to :meth:`begin_day`, which is how the LACB / AN / CTop-K variants
+share this machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AssignmentConfig
+from repro.core.selection import select_candidate_brokers
+from repro.core.types import AssignedPair, Assignment
+from repro.core.value_function import CapacityAwareValueFunction
+from repro.matching import solve_assignment
+
+#: Tiny positive utility keeping refined edges matchable: Eq. 15 may push a
+#: low-utility edge negative, but an available broker is still preferable to
+#: leaving the client unserved.
+MIN_REFINED_UTILITY = 1e-6
+
+
+class ValueFunctionGuidedAssigner:
+    """Stateful per-day driver of Alg. 2.
+
+    Args:
+        num_brokers: pool size ``|B|``.
+        config: assignment hyper-parameters (``beta``, ``gamma``, ``delta``,
+            CBS and value-function switches).
+        rng: randomness for CBS pivots.
+        max_capacity_state: largest residual capacity the value table tracks.
+        batches_per_day: fixed time windows per day, used to convert batch
+            indices into the value function's time axis; inferred from the
+            largest batch index seen when omitted.
+    """
+
+    def __init__(
+        self,
+        num_brokers: int,
+        config: AssignmentConfig,
+        rng: np.random.Generator,
+        max_capacity_state: int = 200,
+        batches_per_day: int | None = None,
+    ) -> None:
+        self.num_brokers = num_brokers
+        self.config = config
+        self.rng = rng
+        self.value_function = CapacityAwareValueFunction(
+            max_state=max_capacity_state,
+            learning_rate=config.learning_rate,
+            discount=config.discount,
+        )
+        self.batches_per_day = batches_per_day
+        self._max_batch_seen = 0
+        self.capacities = np.zeros(num_brokers)
+        self.workloads = np.zeros(num_brokers, dtype=int)
+        self._capacity_hits = np.zeros(num_brokers)
+        self._days_seen = 0
+
+    # ------------------------------------------------------------------
+    # Day lifecycle
+    # ------------------------------------------------------------------
+    def begin_day(self, capacities: np.ndarray) -> None:
+        """Install today's estimated capacities ``c_b`` and reset workloads."""
+        capacities = np.asarray(capacities, dtype=float)
+        if capacities.shape != (self.num_brokers,):
+            raise ValueError(
+                f"expected capacities of shape ({self.num_brokers},), got {capacities.shape}"
+            )
+        self.capacities = capacities
+        self.workloads = np.zeros(self.num_brokers, dtype=int)
+
+    def end_day(self) -> None:
+        """Book capacity hits into ``f_b`` and settle the value function.
+
+        Two pieces of end-of-day bookkeeping:
+
+        1. The capacity-hit frequency ``f_b`` gains today's observation.
+        2. *Terminal* TD updates: a broker's unused residual capacity
+           expires worthless at day end.  Without this, the TD chain of
+           Eq. 14 converges to ``V(cr) = u + gamma V(cr - 1)`` — as if
+           reserved capacity always converts later — and the Eq. 15
+           refinement then overcharges every edge by a full average
+           utility, leaving top brokers systematically under-used.
+        """
+        self._capacity_hits += self.workloads >= np.maximum(self.capacities, 1.0)
+        self._days_seen += 1
+        if self.config.use_value_function:
+            residuals = self.capacities - self.workloads
+            for residual in residuals[residuals >= 1.0]:
+                self.value_function.expire_day_end(float(residual))
+
+    @property
+    def capacity_hit_frequency(self) -> np.ndarray:
+        """``f_b`` — fraction of past days each broker reached capacity."""
+        if self._days_seen == 0:
+            return np.zeros(self.num_brokers)
+        return self._capacity_hits / self._days_seen
+
+    # ------------------------------------------------------------------
+    # Per-batch assignment (Alg. 2 lines 4-10)
+    # ------------------------------------------------------------------
+    def available_brokers(self) -> np.ndarray:
+        """``B+`` — brokers with residual capacity today (line 5)."""
+        return np.nonzero(self.workloads < self.capacities)[0]
+
+    def assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
+        """Match one batch of requests against the available brokers.
+
+        Args:
+            day / batch: interval coordinates (bookkeeping only).
+            request_ids: global ids of the batch's requests.
+            utilities: ``(|R_batch|, |B|)`` predicted utilities ``u_{r,b}``.
+
+        Returns:
+            The batch assignment ``M^(i)``; workloads and the value function
+            are updated as a side effect.
+        """
+        request_ids = np.asarray(request_ids, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        if utilities.shape != (request_ids.size, self.num_brokers):
+            raise ValueError(
+                f"utilities shape {utilities.shape} does not match "
+                f"({request_ids.size}, {self.num_brokers})"
+            )
+        assignment = Assignment(day=day, batch=batch)
+        self._max_batch_seen = max(self._max_batch_seen, batch + 1)
+        if request_ids.size == 0:
+            return assignment
+        available = self.available_brokers()
+        if available.size == 0:
+            return assignment
+
+        candidate_utilities = utilities[:, available]
+        if self.config.use_cbs and available.size > request_ids.size:
+            local = select_candidate_brokers(
+                candidate_utilities, int(request_ids.size), self.rng
+            )
+            available = available[local]
+            candidate_utilities = candidate_utilities[:, local]
+
+        time_fraction = self._time_fraction(batch)
+        next_fraction = self._time_fraction(batch + 1)
+        refined = self._refine(candidate_utilities, available, time_fraction)
+        match = solve_assignment(
+            refined,
+            maximize=True,
+            backend=self.config.matching_backend,
+            pad_square=self.config.matching_pad_square,
+        )
+
+        for row, col in match.pairs:
+            broker = int(available[col])
+            raw_utility = float(utilities[row, broker])
+            residual = float(self.capacities[broker] - self.workloads[broker])
+            self.workloads[broker] += 1
+            if self.config.use_value_function:
+                self.value_function.td_update(
+                    time_fraction, residual, raw_utility, next_fraction, residual - 1.0
+                )
+            assignment.pairs.append(
+                AssignedPair(int(request_ids[row]), broker, raw_utility)
+            )
+        return assignment
+
+    #: Days of history required before the capacity-hit frequency ``f_b``
+    #: is trusted (after one day it is degenerately 0 or 1).
+    MIN_FREQUENCY_DAYS = 3
+
+    def _time_fraction(self, batch: int) -> float:
+        """Position of a batch within the day on the value function's axis."""
+        denominator = self.batches_per_day or max(self._max_batch_seen, 1)
+        return batch / denominator
+
+    def _refine(
+        self, utilities: np.ndarray, broker_ids: np.ndarray, time_fraction: float
+    ) -> np.ndarray:
+        """Eq. 15: value-refined utilities for frequently capped brokers."""
+        if not self.config.use_value_function:
+            return utilities
+        if self._days_seen < self.MIN_FREQUENCY_DAYS:
+            return utilities
+        frequency = self.capacity_hit_frequency[broker_ids]
+        top_mask = frequency > self.config.threshold
+        if not np.any(top_mask):
+            return utilities
+        residuals = self.capacities[broker_ids] - self.workloads[broker_ids]
+        adjustment = self.value_function.refinement_batch(time_fraction, residuals)
+        refined = utilities.copy()
+        refined[:, top_mask] = np.maximum(
+            refined[:, top_mask] + adjustment[top_mask][None, :],
+            MIN_REFINED_UTILITY,
+        )
+        return refined

@@ -1,0 +1,82 @@
+"""Experiment harness: runners, metrics, sweeps and figure reproduction.
+
+- :mod:`~repro.experiments.runner` — drives any matcher through a platform
+  and collects per-day / per-broker results with decision-time accounting;
+- :mod:`~repro.experiments.metrics` — total utility, distributions,
+  improvement fractions, Gini, overload rates (the quantities of
+  Figs. 8-11 and the Sec. VII-D summary);
+- :mod:`~repro.experiments.sweeps` — the Table III / Fig. 8 parameter
+  sweeps on synthetic cities;
+- :mod:`~repro.experiments.motivation` — the Sec. II measurement study
+  (Figs. 2-4) reproduced on simulated traces;
+- :mod:`~repro.experiments.real_world` — the Fig. 9-11 evaluation on the
+  Table IV-like cities;
+- :mod:`~repro.experiments.reporting` — plain-text table/series printers
+  matching the paper's rows.
+"""
+
+from repro.experiments.metrics import (
+    fraction_degraded,
+    fraction_improved,
+    gini,
+    overload_rate,
+    speedup,
+    top_broker_load_ratio,
+    utility_distribution,
+    workload_distribution,
+)
+from repro.experiments.figures import ascii_chart, ascii_histogram
+from repro.experiments.io import (
+    load_run_result,
+    load_sweep_result,
+    save_run_result,
+    save_sweep_result,
+)
+from repro.experiments.motivation import (
+    signup_vs_workload,
+    top_broker_curves,
+    workload_concentration,
+)
+from repro.experiments.significance import compare, seeded_utilities
+from repro.experiments.real_world import CityEvaluation, evaluate_city
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.runner import RunResult, compare_algorithms, run_algorithm
+from repro.experiments.sweeps import (
+    MatchingTimeProfile,
+    SweepResult,
+    matching_time_profile,
+    sweep,
+)
+
+__all__ = [
+    "CityEvaluation",
+    "MatchingTimeProfile",
+    "RunResult",
+    "SweepResult",
+    "ascii_chart",
+    "ascii_histogram",
+    "compare",
+    "compare_algorithms",
+    "evaluate_city",
+    "load_run_result",
+    "load_sweep_result",
+    "save_run_result",
+    "save_sweep_result",
+    "seeded_utilities",
+    "format_series",
+    "format_table",
+    "fraction_degraded",
+    "fraction_improved",
+    "gini",
+    "matching_time_profile",
+    "overload_rate",
+    "run_algorithm",
+    "signup_vs_workload",
+    "speedup",
+    "sweep",
+    "top_broker_curves",
+    "top_broker_load_ratio",
+    "utility_distribution",
+    "workload_concentration",
+    "workload_distribution",
+]

@@ -1,0 +1,144 @@
+"""Terminal figure rendering — the paper's plots without a plotting stack.
+
+The benches regenerate every figure's *data*; this module renders those
+series as compact ASCII charts so a terminal run of the suite (or the CLI)
+shows the curve shapes themselves, not just tables.  No external plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    title: str | None = None,
+    log_y: bool = False,
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        x_values: shared x coordinates.
+        series: name -> y values (each the same length as ``x_values``).
+        width / height: plot-area size in characters.
+        title: optional heading line.
+        log_y: log-scale the y axis (requires positive values).
+
+    Returns:
+        The chart as a multi-line string with axes and a legend.
+    """
+    x = np.asarray(x_values, dtype=float)
+    if x.size < 2:
+        raise ValueError("a chart needs at least two x values")
+    if not series:
+        raise ValueError("at least one series is required")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series are supported")
+    if width < 16 or height < 4:
+        raise ValueError("width must be >= 16 and height >= 4")
+    for name, values in series.items():
+        if len(values) != x.size:
+            raise ValueError(f"series {name!r} length {len(values)} != {x.size}")
+
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    if log_y:
+        if np.any(all_y <= 0):
+            raise ValueError("log_y requires strictly positive values")
+        transform = np.log10
+    else:
+        transform = lambda v: np.asarray(v, dtype=float)  # noqa: E731
+
+    y_low = float(transform(all_y).min())
+    y_high = float(transform(all_y).max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def _col(value: float) -> int:
+        return int(round((value - x_low) / (x_high - x_low) * (width - 1)))
+
+    def _row(value: float) -> int:
+        fraction = (value - y_low) / (y_high - y_low)
+        return int(round((1.0 - fraction) * (height - 1)))
+
+    for glyph, (name, values) in zip(SERIES_GLYPHS, series.items()):
+        y = transform(np.asarray(values, dtype=float))
+        columns = [_col(v) for v in x]
+        rows = [_row(v) for v in y]
+        # Connect consecutive points with interpolated marks.
+        for (c0, r0), (c1, r1) in zip(zip(columns, rows), zip(columns[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                fraction = step / steps
+                col = int(round(c0 + fraction * (c1 - c0)))
+                row = int(round(r0 + fraction * (r1 - r0)))
+                if grid[row][col] == " " or step in (0, steps):
+                    grid[row][col] = glyph
+
+    def _fmt(value: float) -> str:
+        raw = 10**value if log_y else value
+        if abs(raw) >= 1000 or (abs(raw) < 0.01 and raw != 0):
+            return f"{raw:.1e}"
+        return f"{raw:.4g}"
+
+    label_width = max(len(_fmt(y_high)), len(_fmt(y_low)))
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = _fmt(y_high)
+        elif index == height - 1:
+            label = _fmt(y_low)
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    x_axis = f"{_fmt(x_low) if not log_y else x_low:<{width // 2}}{_fmt(x_high) if not log_y else x_high:>{width // 2}}"
+    lines.append(f"{'':>{label_width}}  {x_axis}")
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(SERIES_GLYPHS, series.keys())
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Render labelled values as a horizontal bar chart.
+
+    Args:
+        labels: one label per bar.
+        values: non-negative bar lengths.
+        width: maximum bar width in characters.
+        title: optional heading line.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("at least one bar is required")
+    values_arr = np.asarray(values, dtype=float)
+    if np.any(values_arr < 0):
+        raise ValueError("histogram values must be non-negative")
+    peak = float(values_arr.max()) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values_arr):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{str(label):>{label_width}} |{bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""JSON persistence for experiment results.
+
+Long sweeps and city evaluations are expensive; saving their results lets
+reports (EXPERIMENTS.md tables, figures) be rebuilt and diffed without
+re-running the experiments.  Arrays are stored as lists; loading restores
+NumPy types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import RunResult
+from repro.experiments.sweeps import SweepResult
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Plain-dict form of a :class:`RunResult` (outcomes are not kept)."""
+    return {
+        "algorithm": result.algorithm,
+        "total_realized_utility": result.total_realized_utility,
+        "total_predicted_utility": result.total_predicted_utility,
+        "daily_utility": _jsonable(result.daily_utility),
+        "broker_utility": _jsonable(result.broker_utility),
+        "broker_workload": _jsonable(result.broker_workload),
+        "broker_peak_workload": _jsonable(result.broker_peak_workload),
+        "broker_signup": _jsonable(result.broker_signup),
+        "decision_time": result.decision_time,
+        "daily_decision_time": _jsonable(result.daily_decision_time),
+        "num_assigned": result.num_assigned,
+    }
+
+
+def run_result_from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    return RunResult(
+        algorithm=payload["algorithm"],
+        total_realized_utility=float(payload["total_realized_utility"]),
+        total_predicted_utility=float(payload["total_predicted_utility"]),
+        daily_utility=np.asarray(payload["daily_utility"], dtype=float),
+        broker_utility=np.asarray(payload["broker_utility"], dtype=float),
+        broker_workload=np.asarray(payload["broker_workload"], dtype=float),
+        broker_peak_workload=np.asarray(payload["broker_peak_workload"], dtype=float),
+        broker_signup=np.asarray(payload["broker_signup"], dtype=float),
+        decision_time=float(payload["decision_time"]),
+        daily_decision_time=np.asarray(payload["daily_decision_time"], dtype=float),
+        num_assigned=int(payload["num_assigned"]),
+    )
+
+
+def save_run_result(result: RunResult, path: str | Path) -> None:
+    """Write one run result as JSON."""
+    Path(path).write_text(json.dumps(run_result_to_dict(result), indent=2))
+
+
+def load_run_result(path: str | Path) -> RunResult:
+    """Read one run result from JSON."""
+    return run_result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_sweep_result(result: SweepResult, path: str | Path) -> None:
+    """Write a Fig. 8 sweep column as JSON."""
+    payload = {
+        "factor": result.factor,
+        "values": result.values,
+        "utilities": result.utilities,
+        "times": result.times,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_sweep_result(path: str | Path) -> SweepResult:
+    """Read a Fig. 8 sweep column from JSON."""
+    payload = json.loads(Path(path).read_text())
+    return SweepResult(
+        factor=payload["factor"],
+        values=[float(v) for v in payload["values"]],
+        utilities={k: [float(x) for x in v] for k, v in payload["utilities"].items()},
+        times={k: [float(x) for x in v] for k, v in payload["times"].items()},
+    )

@@ -1,0 +1,116 @@
+"""The Fig. 9-11 evaluation on the Table IV-like cities.
+
+Runs the full algorithm roster on real-like Cities A, B and C and collects
+the three views the paper reports:
+
+- overall total utility and cumulative running time over days (Fig. 11),
+- the per-broker utility distribution (Fig. 9) with the improved/degraded
+  broker fractions of Sec. VII-D,
+- the per-broker workload distribution (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms import make_matcher
+from repro.experiments.metrics import (
+    fraction_degraded,
+    fraction_improved,
+    overload_rate,
+    overload_severity,
+    utility_distribution,
+    workload_distribution,
+)
+from repro.experiments.runner import RunResult, run_algorithm
+from repro.simulation.datasets import real_like_city
+
+#: Algorithms of the Fig. 11 comparison, in reporting order.
+CITY_ALGORITHMS = ("Top-1", "Top-3", "RR", "KM", "CTop-1", "CTop-3", "AN", "LACB", "LACB-Opt")
+
+
+@dataclass
+class CityEvaluation:
+    """All Fig. 9-11 quantities for one city.
+
+    Attributes:
+        city: city name ("A", "B" or "C").
+        results: per-algorithm run results (utilities, times, per-broker
+            vectors).
+        improved_vs_top3: per capacity-aware algorithm, the fraction of
+            brokers whose utility improved over Top-3 (Sec. VII-D reports
+            72.0%-82.2% for LACB).
+        rr_degraded_vs_top3: fraction of brokers RR degrades vs Top-3
+            (the paper reports 25.7%).
+        overload_rates: per algorithm, the fraction of brokers pushed past
+            their latent capacity on some day.
+        overload_severities: per algorithm, the mean peak workload in
+            excess of latent capacity (the Fig. 10 risk measure).
+    """
+
+    city: str
+    results: dict[str, RunResult]
+    improved_vs_top3: dict[str, float] = field(default_factory=dict)
+    rr_degraded_vs_top3: float = 0.0
+    overload_rates: dict[str, float] = field(default_factory=dict)
+    overload_severities: dict[str, float] = field(default_factory=dict)
+
+    def utility_table(self) -> list[tuple[str, float, float]]:
+        """(algorithm, total utility, decision seconds) rows, Fig. 11."""
+        return [
+            (name, run.total_realized_utility, run.decision_time)
+            for name, run in self.results.items()
+        ]
+
+    def top_utility_series(self, top_n: int = 60) -> dict[str, np.ndarray]:
+        """Sorted top-broker utilities per algorithm (Fig. 9)."""
+        return {
+            name: utility_distribution(run, top_n) for name, run in self.results.items()
+        }
+
+    def top_workload_series(self, top_n: int = 60) -> dict[str, np.ndarray]:
+        """Sorted top-broker workloads per algorithm (Fig. 10)."""
+        return {
+            name: workload_distribution(run, top_n) for name, run in self.results.items()
+        }
+
+
+def evaluate_city(
+    city: str,
+    scale: float = 0.05,
+    seed: int = 7,
+    algorithms: tuple[str, ...] = CITY_ALGORITHMS,
+) -> CityEvaluation:
+    """Run the Fig. 9-11 evaluation on one real-like city.
+
+    Args:
+        city: "A", "B" or "C".
+        scale: proportional shrink factor on Table IV sizes.
+        seed: matcher seed.
+        algorithms: names to compare (must include "Top-3" for the
+            improvement statistics when any capacity-aware name is present).
+    """
+    platform, spec, _config = real_like_city(city, scale=scale, seed=seed)
+    results: dict[str, RunResult] = {}
+    for name in algorithms:
+        matcher = make_matcher(
+            name, platform, seed=seed, empirical_capacity=float(spec.empirical_capacity)
+        )
+        results[name] = run_algorithm(platform, matcher)
+
+    evaluation = CityEvaluation(city=city, results=results)
+    baseline = results.get("Top-3")
+    if baseline is not None:
+        for name in ("CTop-1", "CTop-3", "AN", "LACB", "LACB-Opt"):
+            if name in results:
+                evaluation.improved_vs_top3[name] = fraction_improved(results[name], baseline)
+        if "RR" in results:
+            evaluation.rr_degraded_vs_top3 = fraction_degraded(results["RR"], baseline)
+    for name, run in results.items():
+        evaluation.overload_rates[name] = overload_rate(run, platform.latent_capacities)
+        evaluation.overload_severities[name] = overload_severity(
+            run, platform.latent_capacities
+        )
+    return evaluation

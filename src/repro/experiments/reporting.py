@@ -1,0 +1,59 @@
+"""Plain-text printers matching the paper's tables and series.
+
+Every benchmark prints through these helpers so the regenerated rows read
+the same way across experiments (and diff cleanly between runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table.
+
+    Floats are rendered with four significant digits; column widths adapt
+    to content.
+    """
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """A figure rendered as text: one column per x value, one row per line."""
+    headers = [x_label, *[_render(v) for v in x_values]]
+    rows = [[name, *values] for name, values in series.items()]
+    return format_table(headers, rows, title=title)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,144 @@
+"""Fig. 8 parameter sweeps on the Table III synthetic grid.
+
+Each sweep varies one factor (number of brokers, number of requests,
+covering days, degree of imbalance) and reports, per algorithm, the total
+realized utility of a full run and the decision time.
+
+Running time is reproduced at two granularities:
+
+- the *full-run* decision time inside each sweep (all algorithms on the
+  efficient rectangular matcher — identical matchings, feasible wall
+  clock), and
+- :func:`matching_time_profile`, a per-batch microbenchmark where the
+  KM-based algorithms solve the square-padded ``|B| x |B|`` instance the
+  paper describes while LACB-Opt prunes with CBS first — this is what
+  regenerates the paper's 16.4x-1091.9x speedup factors without running
+  cubic solves for an entire horizon.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.algorithms import make_matcher
+from repro.core.selection import select_candidate_brokers
+from repro.experiments.runner import run_algorithm
+from repro.matching import solve_assignment
+from repro.simulation.datasets import SyntheticConfig, generate_city
+
+#: Factor names accepted by :func:`sweep` (the four Fig. 8 columns).
+SWEEP_FACTORS = ("num_brokers", "num_requests", "num_days", "imbalance")
+
+#: Default algorithm set of the Fig. 8 comparison.
+DEFAULT_ALGORITHMS = ("Top-1", "Top-3", "RR", "KM", "CTop-1", "CTop-3", "AN", "LACB", "LACB-Opt")
+
+
+@dataclass
+class SweepResult:
+    """One Fig. 8 column: a factor swept over several values.
+
+    Attributes:
+        factor: the swept factor name.
+        values: the factor values.
+        utilities: per algorithm, total realized utility at each value.
+        times: per algorithm, full-run decision seconds at each value.
+    """
+
+    factor: str
+    values: list[float]
+    utilities: dict[str, list[float]] = field(default_factory=dict)
+    times: dict[str, list[float]] = field(default_factory=dict)
+
+
+def sweep(
+    factor: str,
+    values: list,
+    base_config: SyntheticConfig,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    seed: int = 7,
+) -> SweepResult:
+    """Run one Fig. 8 column.
+
+    Args:
+        factor: one of :data:`SWEEP_FACTORS`.
+        values: factor values (Table III rows).
+        base_config: the synthetic city config to perturb.
+        algorithms: algorithm names to compare.
+        seed: matcher seed (instance seeds come from the config).
+    """
+    if factor not in SWEEP_FACTORS:
+        raise ValueError(f"unknown factor {factor!r}; choose from {SWEEP_FACTORS}")
+    result = SweepResult(factor=factor, values=[float(v) for v in values])
+    for name in algorithms:
+        result.utilities[name] = []
+        result.times[name] = []
+    for value in values:
+        config = replace(base_config, **{factor: value})
+        platform = generate_city(config)
+        for name in algorithms:
+            matcher = make_matcher(name, platform, seed=seed)
+            run = run_algorithm(platform, matcher)
+            result.utilities[name].append(run.total_realized_utility)
+            result.times[name].append(run.decision_time)
+    return result
+
+
+@dataclass
+class MatchingTimeProfile:
+    """Per-batch matching cost of the paper's implementations.
+
+    Attributes:
+        num_brokers: broker-side size ``|B|``.
+        batch_size: request-side size ``|R|`` of the batch.
+        km_square_seconds: one KM solve on the square-padded graph (the
+            KM / AN / LACB implementation of Sec. VI-B).
+        cbs_km_seconds: CBS pruning plus KM on the reduced graph (the
+            LACB-Opt implementation of Sec. VI-C).
+        speedup: their ratio — the paper's headline acceleration.
+    """
+
+    num_brokers: int
+    batch_size: int
+    km_square_seconds: float
+    cbs_km_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """KM-square time over CBS+KM time."""
+        if self.cbs_km_seconds <= 0:
+            return float("inf")
+        return self.km_square_seconds / self.cbs_km_seconds
+
+
+def matching_time_profile(
+    num_brokers: int,
+    batch_size: int,
+    seed: int = 0,
+    repeats: int = 3,
+) -> MatchingTimeProfile:
+    """Measure one batch's matching cost under both implementations."""
+    rng = np.random.default_rng(seed)
+    utilities = rng.uniform(0.0, 1.0, size=(batch_size, num_brokers))
+
+    square_times = []
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        solve_assignment(utilities, pad_square=True)
+        square_times.append(time.perf_counter() - tick)
+
+    cbs_times = []
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        chosen = select_candidate_brokers(utilities, batch_size, rng)
+        solve_assignment(utilities[:, chosen])
+        cbs_times.append(time.perf_counter() - tick)
+
+    return MatchingTimeProfile(
+        num_brokers=num_brokers,
+        batch_size=batch_size,
+        km_square_seconds=float(np.median(square_times)),
+        cbs_km_seconds=float(np.median(cbs_times)),
+    )

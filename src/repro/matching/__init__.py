@@ -1,0 +1,36 @@
+"""Bipartite matching substrate.
+
+The paper's assignment phase (Alg. 2 line 7) runs the classical Kuhn-Munkres
+(KM) algorithm on a balanced bipartite graph; its optimization (Alg. 3)
+shrinks that graph before solving.  This package provides
+
+- :func:`~repro.matching.hungarian.solve_assignment` — an O(n^3)
+  shortest-augmenting-path Hungarian solver written from scratch, with an
+  optional SciPy backend for cross-validation and large instances,
+- :mod:`~repro.matching.bipartite` — dummy-vertex padding for unbalanced
+  graphs and matrix construction helpers,
+- :mod:`~repro.matching.greedy` — the greedy matcher used as a sanity
+  baseline,
+- :mod:`~repro.matching.flow` — a successive-shortest-path min-cost-flow
+  solver used in tests to independently verify matching optimality,
+- :mod:`~repro.matching.validation` — structural checks on matchings.
+"""
+
+from repro.matching.auction import auction_assignment
+from repro.matching.bipartite import MatchResult, pad_to_square
+from repro.matching.flow import min_cost_flow_assignment
+from repro.matching.greedy import greedy_assignment
+from repro.matching.hungarian import hungarian, solve_assignment
+from repro.matching.validation import assert_valid_matching, is_valid_matching
+
+__all__ = [
+    "MatchResult",
+    "pad_to_square",
+    "hungarian",
+    "solve_assignment",
+    "auction_assignment",
+    "greedy_assignment",
+    "min_cost_flow_assignment",
+    "is_valid_matching",
+    "assert_valid_matching",
+]

@@ -1,0 +1,51 @@
+"""Greedy bipartite matcher.
+
+Not part of LACB itself, but the standard sanity baseline in the online
+task-assignment literature the paper builds on (Sec. VIII cites Tong et al.'s
+experimental finding that greedy is competitive in practice).  Also used in
+tests as a lower bound for the optimal Hungarian solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.bipartite import MatchResult
+
+
+def greedy_assignment(weights: np.ndarray, min_weight: float = 0.0) -> MatchResult:
+    """One-to-one matching by repeatedly taking the heaviest free edge.
+
+    Args:
+        weights: ``(n_rows, n_cols)`` edge weights.
+        min_weight: edges with weight strictly below this are never taken
+            (zero keeps parity with dummy-padding semantics, where staying
+            unmatched has zero value).
+
+    Returns:
+        A :class:`MatchResult`; total weight is at least half the optimum
+        (the classic 1/2-approximation guarantee of greedy matching).
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {weights.shape}")
+    n_rows, n_cols = weights.shape
+    flat_order = np.argsort(weights, axis=None)[::-1]
+    row_used = np.zeros(n_rows, dtype=bool)
+    col_used = np.zeros(n_cols, dtype=bool)
+    pairs: list[tuple[int, int]] = []
+    total = 0.0
+    for flat in flat_order:
+        row, col = divmod(int(flat), n_cols)
+        weight = weights[row, col]
+        if weight < min_weight or weight <= 0.0:
+            break
+        if row_used[row] or col_used[col]:
+            continue
+        row_used[row] = True
+        col_used[col] = True
+        pairs.append((row, col))
+        total += float(weight)
+        if len(pairs) == min(n_rows, n_cols):
+            break
+    return MatchResult(pairs=pairs, total_weight=total)

@@ -1,0 +1,47 @@
+"""Structural validation of matchings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.bipartite import MatchResult
+
+
+def is_valid_matching(result: MatchResult, n_rows: int, n_cols: int) -> bool:
+    """Check that a match result is a one-to-one partial matching.
+
+    Verifies that every index is in range, that no row or column appears
+    twice, and that the reported total weight is finite.
+    """
+    rows_seen: set[int] = set()
+    cols_seen: set[int] = set()
+    for row, col in result.pairs:
+        if not (0 <= row < n_rows and 0 <= col < n_cols):
+            return False
+        if row in rows_seen or col in cols_seen:
+            return False
+        rows_seen.add(row)
+        cols_seen.add(col)
+    return bool(np.isfinite(result.total_weight))
+
+
+def assert_valid_matching(
+    result: MatchResult,
+    weights: np.ndarray,
+    atol: float = 1e-9,
+) -> None:
+    """Raise ``AssertionError`` unless the matching is structurally sound.
+
+    Additionally recomputes the total weight from the weight matrix and
+    compares it with the reported value.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n_rows, n_cols = weights.shape
+    if not is_valid_matching(result, n_rows, n_cols):
+        raise AssertionError(f"structurally invalid matching: {result.pairs}")
+    recomputed = sum(float(weights[row, col]) for row, col in result.pairs)
+    if abs(recomputed - result.total_weight) > atol:
+        raise AssertionError(
+            f"total weight mismatch: reported {result.total_weight}, "
+            f"recomputed {recomputed}"
+        )

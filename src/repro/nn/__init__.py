@@ -1,0 +1,34 @@
+"""Minimal neural-network substrate used by the NN-enhanced UCB bandit.
+
+The paper (Sec. V-C) replaces LinUCB's linear reward model with an L-layer
+MLP ``S_theta(x, c)`` and needs the *per-sample parameter gradient*
+``g_theta(x, c) = grad_theta S_theta`` to build the UCB exploration bonus
+(Eq. 5).  Off-the-shelf frameworks hide that gradient behind autograd
+machinery; this package implements a small fully-connected network with
+manual backprop that exposes
+
+- batched forward / backward passes for supervised training (Eq. 6),
+- the flattened parameter vector and the exact per-sample gradient,
+- per-layer freezing, used by the personalization step (Sec. V-D) that
+  fine-tunes only the last layer on broker-specific data.
+
+Everything is plain NumPy; all randomness flows through an explicitly
+passed :class:`numpy.random.Generator`.
+"""
+
+from repro.nn.init import gaussian_init
+from repro.nn.layers import Dense
+from repro.nn.losses import l2_penalty, mse_loss
+from repro.nn.mlp import MLP
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "Dense",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "mse_loss",
+    "l2_penalty",
+    "gaussian_init",
+]

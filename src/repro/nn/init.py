@@ -1,0 +1,36 @@
+"""Weight initialization helpers.
+
+Alg. 1 of the paper initializes the bandit's network parameters "with Gauss
+Distribution"; we follow the common scaled-Gaussian (He) variant so deeper
+reward models keep unit-scale activations under ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_init(
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+    scale: float | None = None,
+) -> np.ndarray:
+    """Sample a ``(fan_out, fan_in)`` Gaussian weight matrix.
+
+    Args:
+        fan_in: number of input units of the layer.
+        fan_out: number of output units of the layer.
+        rng: source of randomness.
+        scale: standard deviation of the weights.  When ``None`` the
+            He-scaled value ``sqrt(2 / fan_in)`` is used, appropriate for
+            the ReLU activations of Eq. 4.
+
+    Returns:
+        A freshly sampled weight matrix.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"layer dimensions must be positive, got ({fan_in}, {fan_out})")
+    if scale is None:
+        scale = float(np.sqrt(2.0 / fan_in))
+    return rng.normal(0.0, scale, size=(fan_out, fan_in))

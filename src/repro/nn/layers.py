@@ -1,0 +1,77 @@
+"""Dense (fully connected) layer with manual forward/backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import gaussian_init
+
+
+class Dense:
+    """A fully connected layer ``y = x @ W.T + b``.
+
+    The layer caches its last input so that :meth:`backward` can compute
+    parameter gradients without the caller re-supplying activations.  A
+    layer may be *frozen* (``trainable = False``), in which case optimizers
+    skip its parameters — this implements the layer-transfer personalization
+    of Sec. V-D, where the first ``L - 1`` layers of the base reward model
+    are copied and only the last layer is fine-tuned per broker.
+    """
+
+    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator) -> None:
+        self.weight = gaussian_init(fan_in, fan_out, rng)
+        self.bias = np.zeros(fan_out)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self.trainable = True
+        self._last_input: np.ndarray | None = None
+
+    @property
+    def fan_in(self) -> int:
+        """Number of input units."""
+        return self.weight.shape[1]
+
+    @property
+    def fan_out(self) -> int:
+        """Number of output units."""
+        return self.weight.shape[0]
+
+    @property
+    def num_params(self) -> int:
+        """Total parameter count (weights plus biases)."""
+        return self.weight.size + self.bias.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the affine map to a ``(batch, fan_in)`` input."""
+        if x.ndim != 2 or x.shape[1] != self.fan_in:
+            raise ValueError(
+                f"expected input of shape (batch, {self.fan_in}), got {x.shape}"
+            )
+        self._last_input = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``(batch, fan_out)`` output gradients.
+
+        Accumulates parameter gradients into ``grad_weight`` / ``grad_bias``
+        and returns the gradient with respect to the layer input.
+        """
+        if self._last_input is None:
+            raise RuntimeError("backward() called before forward()")
+        self.grad_weight += grad_output.T @ self._last_input
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        self.grad_weight[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+    def copy_from(self, other: "Dense") -> None:
+        """Copy parameters from another layer of identical shape."""
+        if other.weight.shape != self.weight.shape:
+            raise ValueError(
+                f"shape mismatch: {other.weight.shape} vs {self.weight.shape}"
+            )
+        self.weight[:] = other.weight
+        self.bias[:] = other.bias

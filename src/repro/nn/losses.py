@@ -1,0 +1,36 @@
+"""Loss functions for reward-model training (Eq. 6 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Sum-of-squares loss and its gradient with respect to predictions.
+
+    The paper's Eq. 6 uses the *sum* (not mean) of squared errors over the
+    observation buffer, so we keep that convention.
+
+    Returns:
+        ``(loss, grad)`` where ``grad`` has the shape of ``predictions``.
+    """
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {targets.shape}")
+    residual = predictions - targets
+    loss = float(np.sum(residual**2))
+    return loss, 2.0 * residual
+
+
+def l2_penalty(param_vector: np.ndarray, lam: float) -> tuple[float, np.ndarray]:
+    """Ridge penalty ``lam * ||theta||_2^2`` and its gradient.
+
+    Args:
+        param_vector: flattened network parameters.
+        lam: the regularization strength (``lambda`` in Eq. 6).
+    """
+    if lam < 0:
+        raise ValueError(f"lambda must be non-negative, got {lam}")
+    loss = float(lam * np.sum(param_vector**2))
+    return loss, 2.0 * lam * param_vector

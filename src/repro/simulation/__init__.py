@@ -1,0 +1,47 @@
+"""Real-estate platform simulator (the paper's evaluation substrate).
+
+The paper evaluates on "a simulator of Beike" fed with proprietary traces
+from three Chinese cities (Table IV).  We do not have those traces, so this
+package synthesizes the whole environment:
+
+- :mod:`~repro.simulation.attributes` — broker profiles carrying every
+  Table II attribute, vectorized into the working-status context ``x_b``;
+- :mod:`~repro.simulation.response` — latent broker-specific
+  sign-up-rate-vs-workload curves calibrated to the Sec. II measurements
+  (non-linear, unimodal around an "accustomed workload", steep decay when
+  overloaded);
+- :mod:`~repro.simulation.brokers` / :mod:`~repro.simulation.requests` —
+  population and request-stream generators;
+- :mod:`~repro.simulation.utility` — the ground-truth request-broker
+  affinity and the platform's deployed utility model (the "XGBoost" role);
+- :mod:`~repro.simulation.platform` — the environment loop: reveals
+  contexts and predicted utilities, executes assignments, realizes
+  workload-degraded outcomes and daily sign-up rates;
+- :mod:`~repro.simulation.datasets` — factories for the Table III synthetic
+  grid and Table IV real-like cities.
+"""
+
+from repro.simulation.attributes import BrokerProfile, generate_profile
+from repro.simulation.brokers import BrokerPopulation
+from repro.simulation.datasets import (
+    REAL_CITY_SPECS,
+    SyntheticConfig,
+    generate_city,
+    real_like_city,
+)
+from repro.simulation.platform import RealEstatePlatform
+from repro.simulation.requests import RequestStream
+from repro.simulation.response import ResponseCurve
+
+__all__ = [
+    "BrokerProfile",
+    "BrokerPopulation",
+    "REAL_CITY_SPECS",
+    "RealEstatePlatform",
+    "RequestStream",
+    "ResponseCurve",
+    "SyntheticConfig",
+    "generate_city",
+    "generate_profile",
+    "real_like_city",
+]

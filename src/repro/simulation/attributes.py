@@ -1,0 +1,158 @@
+"""Broker attribute profiles (Table II of the paper).
+
+Each broker carries three attribute groups: basic info (age, working years,
+education, title), a work profile (response rate, dialogue rounds,
+presentations, consultations over 7/14/30/90-day windows, maintained houses,
+served clients, transactions) and preferences (districts, housing).  The
+profile vectorizes into the static part of the working-status context
+``x_b``; dynamic work-profile statistics are maintained by the platform as
+days unfold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+EDUCATION_LEVELS = ("high_school", "undergraduate", "master")
+JOB_TITLES = ("assistant", "clerk", "manager")
+HOUSE_TYPES = ("apartment", "duplex", "villa")
+
+#: Recency windows (days) used by Table II work-profile statistics.
+RECENCY_WINDOWS = (7, 14, 30, 90)
+
+
+@dataclass(frozen=True)
+class BrokerProfile:
+    """Static per-broker attributes (Table II).
+
+    Attributes:
+        age: broker's age in years.
+        working_years: years of experience as a broker.
+        education: one of :data:`EDUCATION_LEVELS`.
+        title: one of :data:`JOB_TITLES`.
+        response_rate: probability of answering a request within a minute.
+        dialogue_rounds: average App dialogue rounds per recency window.
+        housing_presentations: offline presentations per recency window.
+        vr_presentations: VR presentations per recency window.
+        vr_presentation_time: VR presentation hours per recency window.
+        phone_consultations: phone consultations per recency window.
+        phone_consultation_time: phone consultation hours per window.
+        app_consultations: App consultations per recency window.
+        app_consultation_time: App consultation hours per window.
+        maintained_houses: houses currently maintained by the broker.
+        served_clients: clients served per recency window.
+        transactions: closed transactions per recency window.
+        district_preference: soft membership over city districts.
+        price_preference: preferred normalized price point in [0, 1].
+        area_preference: preferred normalized house area in [0, 1].
+        type_preference: soft membership over :data:`HOUSE_TYPES`.
+    """
+
+    age: float
+    working_years: float
+    education: str
+    title: str
+    response_rate: float
+    dialogue_rounds: tuple[float, ...]
+    housing_presentations: tuple[float, ...]
+    vr_presentations: tuple[float, ...]
+    vr_presentation_time: tuple[float, ...]
+    phone_consultations: tuple[float, ...]
+    phone_consultation_time: tuple[float, ...]
+    app_consultations: tuple[float, ...]
+    app_consultation_time: tuple[float, ...]
+    maintained_houses: float
+    served_clients: tuple[float, ...]
+    transactions: tuple[float, ...]
+    district_preference: tuple[float, ...]
+    price_preference: float
+    area_preference: float
+    type_preference: tuple[float, ...]
+
+    def to_vector(self) -> np.ndarray:
+        """Vectorize the static profile (normalized to unit-ish scales)."""
+        education_onehot = [float(self.education == level) for level in EDUCATION_LEVELS]
+        title_onehot = [float(self.title == title) for title in JOB_TITLES]
+        parts = [
+            [self.age / 60.0, self.working_years / 20.0],
+            education_onehot,
+            title_onehot,
+            [self.response_rate],
+            [value / 50.0 for value in self.dialogue_rounds],
+            [value / 30.0 for value in self.housing_presentations],
+            [value / 30.0 for value in self.vr_presentations],
+            [value / 20.0 for value in self.vr_presentation_time],
+            [value / 40.0 for value in self.phone_consultations],
+            [value / 20.0 for value in self.phone_consultation_time],
+            [value / 60.0 for value in self.app_consultations],
+            [value / 20.0 for value in self.app_consultation_time],
+            [self.maintained_houses / 40.0],
+            [value / 200.0 for value in self.served_clients],
+            [value / 20.0 for value in self.transactions],
+            list(self.district_preference),
+            [self.price_preference, self.area_preference],
+            list(self.type_preference),
+        ]
+        return np.concatenate([np.asarray(part, dtype=float) for part in parts])
+
+
+def _windowed(rng: np.random.Generator, daily_rate: float) -> tuple[float, ...]:
+    """Per-window totals consistent with a noisy daily rate."""
+    noise = rng.uniform(0.85, 1.15, size=len(RECENCY_WINDOWS))
+    return tuple(float(daily_rate * window * n) for window, n in zip(RECENCY_WINDOWS, noise))
+
+
+def generate_profile(
+    rng: np.random.Generator,
+    skill: float,
+    num_districts: int = 8,
+) -> BrokerProfile:
+    """Sample a broker profile whose intensity scales with latent skill.
+
+    Args:
+        rng: source of randomness.
+        skill: latent skill level in [0, 1]; senior, busier brokers carry
+            larger work-profile statistics.
+        num_districts: number of city districts for the preference vector.
+
+    Returns:
+        A fully populated :class:`BrokerProfile`.
+    """
+    if not 0.0 <= skill <= 1.0:
+        raise ValueError(f"skill must be in [0, 1], got {skill}")
+    working_years = float(np.clip(rng.gamma(2.0, 2.0) + 8.0 * skill, 0.5, 25.0))
+    age = float(np.clip(22.0 + working_years + rng.normal(0.0, 4.0), 20.0, 60.0))
+    education = EDUCATION_LEVELS[
+        int(rng.choice(len(EDUCATION_LEVELS), p=[0.3, 0.55, 0.15]))
+    ]
+    title_probs = np.array([0.6 - 0.4 * skill, 0.3, 0.1 + 0.4 * skill])
+    title = JOB_TITLES[int(rng.choice(len(JOB_TITLES), p=title_probs / title_probs.sum()))]
+    activity = 0.3 + 0.7 * skill
+
+    district_pref = rng.dirichlet(np.full(num_districts, 0.5))
+    type_pref = rng.dirichlet(np.ones(len(HOUSE_TYPES)))
+
+    return BrokerProfile(
+        age=age,
+        working_years=working_years,
+        education=education,
+        title=title,
+        response_rate=float(np.clip(0.4 + 0.5 * skill + rng.normal(0.0, 0.08), 0.05, 1.0)),
+        dialogue_rounds=_windowed(rng, 20.0 * activity),
+        housing_presentations=_windowed(rng, 6.0 * activity),
+        vr_presentations=_windowed(rng, 4.0 * activity),
+        vr_presentation_time=_windowed(rng, 2.0 * activity),
+        phone_consultations=_windowed(rng, 10.0 * activity),
+        phone_consultation_time=_windowed(rng, 3.0 * activity),
+        app_consultations=_windowed(rng, 15.0 * activity),
+        app_consultation_time=_windowed(rng, 4.0 * activity),
+        maintained_houses=float(np.clip(rng.poisson(5 + 25 * skill), 1, 60)),
+        served_clients=_windowed(rng, 3.0 + 15.0 * skill),
+        transactions=_windowed(rng, 0.1 + 0.6 * skill),
+        district_preference=tuple(float(p) for p in district_pref),
+        price_preference=float(rng.beta(2.0, 2.0)),
+        area_preference=float(rng.beta(2.0, 2.0)),
+        type_preference=tuple(float(p) for p in type_pref),
+    )

@@ -1,0 +1,123 @@
+"""Calibrating the synthetic environment against published statistics.
+
+The paper reports a handful of city-level measurements (Sec. II):
+an average sign-up plateau of 14.3-27.5%, an overload knee, a top-1
+broker at ~12x the average workload.  The generators in this package have
+a few free parameters (capacity scale, imbalance, seed); this module
+measures a generated city against those targets and searches the
+parameter neighbourhood for the best match — making the "synthetic data
+for proprietary traces" substitution reproducible instead of hand-tuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.motivation import signup_vs_workload, workload_concentration
+from repro.simulation.datasets import SyntheticConfig, generate_city
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """City-level statistics to match (defaults = the paper's Sec. II).
+
+    Attributes:
+        plateau_low / plateau_high: sign-up-rate band below the knee.
+        top1_ratio: top-1 broker workload over the city average.
+        overload_knee: workload where the city-level rate visibly drops.
+    """
+
+    plateau_low: float = 0.143
+    plateau_high: float = 0.275
+    top1_ratio: float = 12.03
+    overload_knee: float = 40.0
+
+
+@dataclass(frozen=True)
+class CityStatistics:
+    """Measured statistics of one generated city under Top-3."""
+
+    plateau_low: float
+    plateau_high: float
+    top1_ratio: float
+    knee: float
+
+
+def measure_city(config: SyntheticConfig, seed: int = 5) -> CityStatistics:
+    """Generate a city and measure the Sec. II statistics under Top-3."""
+    platform = generate_city(config)
+    study = signup_vs_workload(platform, seed=seed, overload_threshold=1e9)
+    # The knee: the first bin after the curve's peak where the rate falls
+    # below half the peak.
+    rates = study.mean_signup
+    centers = study.bin_centers
+    peak_index = int(np.argmax(rates))
+    knee = float(centers[-1])
+    for index in range(peak_index, rates.size):
+        if rates[index] < 0.5 * rates[peak_index]:
+            knee = float(centers[index])
+            break
+    concentration = workload_concentration(platform, seed=seed)
+    below_peak = rates[: peak_index + 1]
+    return CityStatistics(
+        plateau_low=float(below_peak.min()),
+        plateau_high=float(below_peak.max()),
+        top1_ratio=concentration.top1_ratio,
+        knee=knee,
+    )
+
+
+def calibration_error(
+    statistics: CityStatistics, targets: CalibrationTargets
+) -> float:
+    """Relative mismatch between measured statistics and the targets.
+
+    Each component is a symmetric relative error; the total is their mean,
+    so 0 is a perfect match and 1 means ~100% average deviation.
+    """
+
+    def relative(measured: float, target: float) -> float:
+        """Relative error of one component (absolute when the target is 0)."""
+        if target == 0:
+            return abs(measured)
+        return abs(measured - target) / abs(target)
+
+    components = [
+        relative(statistics.plateau_low, targets.plateau_low),
+        relative(statistics.plateau_high, targets.plateau_high),
+        relative(statistics.top1_ratio, targets.top1_ratio),
+        relative(statistics.knee, targets.overload_knee),
+    ]
+    return float(np.mean(components))
+
+
+def calibrate_capacity_scale(
+    base_config: SyntheticConfig,
+    targets: CalibrationTargets | None = None,
+    candidates: tuple[float, ...] = (0.7, 0.85, 1.0, 1.2, 1.5),
+    seed: int = 5,
+) -> tuple[float, dict[float, float]]:
+    """Grid-search the capacity scale against the Sec. II targets.
+
+    Args:
+        base_config: city configuration whose ``capacity_scale`` is swept.
+        targets: statistics to match (paper defaults when omitted).
+        candidates: capacity-scale values to evaluate.
+        seed: matcher seed for the measurement runs.
+
+    Returns:
+        ``(best_scale, errors)`` where ``errors`` maps each candidate to
+        its calibration error.
+    """
+    if not candidates:
+        raise ValueError("at least one candidate scale is required")
+    targets = targets or CalibrationTargets()
+    errors = {}
+    for scale in candidates:
+        config = replace(base_config, capacity_scale=scale)
+        statistics = measure_city(config, seed=seed)
+        errors[scale] = calibration_error(statistics, targets)
+    best = min(errors, key=errors.get)
+    return best, errors

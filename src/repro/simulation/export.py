@@ -1,0 +1,139 @@
+"""CSV trace export — turn a simulated city and a run into flat files.
+
+A downstream user adopting this library against real data needs the
+interchange format an operating platform would produce: broker rosters,
+request logs and assignment traces.  This module writes exactly those
+three tables and reads the assignment trace back, so the learned utility
+model (``repro.boosting.UtilityModel``) can be trained from files the same
+way it would be trained from a production export.
+
+Files written by :func:`export_city` / :func:`export_assignments`:
+
+- ``brokers.csv``   — one row per broker: id, seniority, preferences and
+  the observable profile scalars (latent ground truth is *not* exported);
+- ``requests.csv``  — one row per request: id, day, batch, features;
+- ``assignments.csv`` — one row per served pair: day, batch, request,
+  broker, the predicted utility at decision time.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.types import Assignment
+from repro.simulation.platform import RealEstatePlatform
+
+BROKER_COLUMNS = (
+    "broker_id",
+    "age",
+    "working_years",
+    "education",
+    "title",
+    "response_rate",
+    "maintained_houses",
+    "price_preference",
+    "area_preference",
+)
+
+REQUEST_COLUMNS = ("request_id", "day", "batch", "district", "house_type", "price", "area", "urgency")
+
+ASSIGNMENT_COLUMNS = ("day", "batch", "request_id", "broker_id", "predicted_utility")
+
+
+def export_city(platform: RealEstatePlatform, directory: str | Path) -> dict[str, Path]:
+    """Write ``brokers.csv`` and ``requests.csv`` for a generated city.
+
+    Returns:
+        Mapping from table name to the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "brokers": directory / "brokers.csv",
+        "requests": directory / "requests.csv",
+    }
+
+    with paths["brokers"].open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(BROKER_COLUMNS)
+        for broker_id, profile in enumerate(platform.population.profiles):
+            writer.writerow(
+                [
+                    broker_id,
+                    f"{profile.age:.1f}",
+                    f"{profile.working_years:.2f}",
+                    profile.education,
+                    profile.title,
+                    f"{profile.response_rate:.4f}",
+                    f"{profile.maintained_houses:.0f}",
+                    f"{profile.price_preference:.4f}",
+                    f"{profile.area_preference:.4f}",
+                ]
+            )
+
+    stream = platform.stream
+    with paths["requests"].open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(REQUEST_COLUMNS)
+        for request_id in range(len(stream)):
+            writer.writerow(
+                [
+                    request_id,
+                    int(stream.day_of[request_id]),
+                    int(stream.batch_of[request_id]),
+                    int(stream.district[request_id]),
+                    int(stream.house_type[request_id]),
+                    f"{stream.price[request_id]:.4f}",
+                    f"{stream.area[request_id]:.4f}",
+                    f"{stream.urgency[request_id]:.4f}",
+                ]
+            )
+    return paths
+
+
+def export_assignments(assignments: list[Assignment], path: str | Path) -> Path:
+    """Write an assignment trace (``assignments.csv``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(ASSIGNMENT_COLUMNS)
+        for assignment in assignments:
+            for pair in assignment.pairs:
+                writer.writerow(
+                    [
+                        assignment.day,
+                        assignment.batch,
+                        pair.request_id,
+                        pair.broker_id,
+                        f"{pair.utility:.6f}",
+                    ]
+                )
+    return path
+
+
+def load_assignments(path: str | Path) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read an assignment trace back as index/utility arrays.
+
+    Returns:
+        ``(request_ids, broker_ids, predicted_utilities)`` — the inputs the
+        utility learner consumes.
+    """
+    requests, brokers, utilities = [], [], []
+    with Path(path).open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(ASSIGNMENT_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"assignment trace is missing columns: {sorted(missing)}")
+        for row in reader:
+            requests.append(int(row["request_id"]))
+            brokers.append(int(row["broker_id"]))
+            utilities.append(float(row["predicted_utility"]))
+    return (
+        np.asarray(requests, dtype=int),
+        np.asarray(brokers, dtype=int),
+        np.asarray(utilities, dtype=float),
+    )

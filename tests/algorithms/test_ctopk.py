@@ -1,0 +1,58 @@
+"""CTop-K: the empirical capacity cap on top of Top-K."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConstrainedTopKRecommender
+
+
+def _matcher(rng, k=1, num_brokers=5, capacity=3.0, **kwargs):
+    return ConstrainedTopKRecommender(k, num_brokers, capacity, rng, **kwargs)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        _matcher(rng, k=0)
+    with pytest.raises(ValueError):
+        _matcher(rng, capacity=0.0)
+
+
+def test_capacity_cap_diverts_demand(rng):
+    matcher = _matcher(rng, k=1, capacity=2.0)
+    matcher.begin_day(0, np.zeros((5, 2)))
+    # Broker 4 dominates; after 2 requests it is capped and broker 3 takes over.
+    utilities = np.tile(np.linspace(0.1, 0.9, 5), (6, 1))
+    assignment = matcher.assign_batch(0, 0, np.arange(6), utilities)
+    load = assignment.broker_load()
+    assert load[4] == 2
+    assert load[3] == 2
+    assert load[2] == 2
+
+
+def test_workload_resets_each_day(rng):
+    matcher = _matcher(rng, k=1, num_brokers=2, capacity=1.0)
+    utilities = np.array([[0.1, 0.9]])
+    matcher.begin_day(0, np.zeros((2, 2)))
+    first = matcher.assign_batch(0, 0, np.array([0]), utilities)
+    assert first.pairs[0].broker_id == 1
+    matcher.begin_day(1, np.zeros((2, 2)))
+    second = matcher.assign_batch(1, 0, np.array([1]), utilities)
+    assert second.pairs[0].broker_id == 1  # cap cleared overnight
+
+
+def test_all_capped_stops_serving(rng):
+    matcher = _matcher(rng, k=1, num_brokers=2, capacity=1.0)
+    matcher.begin_day(0, np.zeros((2, 2)))
+    utilities = np.tile([[0.5, 0.6]], (5, 1))
+    assignment = matcher.assign_batch(0, 0, np.arange(5), utilities)
+    assert len(assignment) == 2  # one per broker, then everyone capped
+
+
+def test_choice_within_open_topk(rng):
+    matcher = _matcher(rng, k=3, num_brokers=10, capacity=100.0)
+    matcher.begin_day(0, np.zeros((10, 2)))
+    utilities = rng.uniform(size=(30, 10))
+    assignment = matcher.assign_batch(0, 0, np.arange(30), utilities)
+    for row, pair in enumerate(assignment.pairs):
+        top3 = set(np.argsort(utilities[row])[-3:])
+        assert pair.broker_id in top3

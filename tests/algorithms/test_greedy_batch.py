@@ -1,0 +1,39 @@
+"""Greedy batch matcher: approximation behaviour within batches."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BatchKMMatcher, GreedyBatchMatcher
+
+
+def test_half_approximation_of_km(rng):
+    greedy = GreedyBatchMatcher()
+    km = BatchKMMatcher()
+    for _ in range(10):
+        utilities = rng.uniform(0.05, 1.0, size=(5, 12))
+        greedy_value = greedy.assign_batch(0, 0, np.arange(5), utilities).predicted_utility
+        km_value = km.assign_batch(0, 0, np.arange(5), utilities).predicted_utility
+        assert greedy_value >= 0.5 * km_value - 1e-9
+        assert greedy_value <= km_value + 1e-9
+
+
+def test_one_request_per_broker(rng):
+    matcher = GreedyBatchMatcher()
+    utilities = rng.uniform(0.05, 1.0, size=(6, 10))
+    assignment = matcher.assign_batch(0, 0, np.arange(6), utilities)
+    brokers = [pair.broker_id for pair in assignment.pairs]
+    assert len(brokers) == len(set(brokers))
+    assert len(assignment) == 6
+
+
+def test_empty_batch():
+    matcher = GreedyBatchMatcher()
+    assignment = matcher.assign_batch(0, 0, np.array([], dtype=int), np.zeros((0, 3)))
+    assert len(assignment) == 0
+
+
+def test_registry_builds_greedy(tiny_platform):
+    from repro.algorithms import make_matcher
+
+    matcher = make_matcher("Greedy", tiny_platform, seed=1)
+    assert matcher.name == "Greedy"

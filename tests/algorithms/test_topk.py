@@ -1,0 +1,64 @@
+"""Top-K recommendation: client choice, concentration behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import TopKRecommender
+
+
+def test_k_validation(rng):
+    with pytest.raises(ValueError):
+        TopKRecommender(0, rng)
+
+
+def test_top1_picks_argmax(rng):
+    matcher = TopKRecommender(1, rng)
+    utilities = np.array([[0.1, 0.9, 0.3], [0.5, 0.2, 0.6]])
+    assignment = matcher.assign_batch(0, 0, np.array([7, 8]), utilities)
+    assert [pair.broker_id for pair in assignment.pairs] == [1, 2]
+    assert [pair.request_id for pair in assignment.pairs] == [7, 8]
+
+
+def test_every_request_served(rng):
+    matcher = TopKRecommender(3, rng)
+    utilities = rng.uniform(size=(10, 6))
+    assignment = matcher.assign_batch(0, 0, np.arange(10), utilities)
+    assert len(assignment) == 10
+
+
+def test_choice_within_recommended_set(rng):
+    matcher = TopKRecommender(3, rng)
+    utilities = rng.uniform(size=(50, 8))
+    assignment = matcher.assign_batch(0, 0, np.arange(50), utilities)
+    for row, pair in enumerate(assignment.pairs):
+        top3 = set(np.argsort(utilities[row])[-3:])
+        assert pair.broker_id in top3
+
+
+def test_greedy_client_picks_best_of_k(rng):
+    matcher = TopKRecommender(3, rng, greedy_client=True)
+    utilities = rng.uniform(size=(20, 5))
+    assignment = matcher.assign_batch(0, 0, np.arange(20), utilities)
+    for row, pair in enumerate(assignment.pairs):
+        assert pair.broker_id == int(np.argmax(utilities[row]))
+
+
+def test_k_larger_than_pool(rng):
+    matcher = TopKRecommender(10, rng)
+    utilities = rng.uniform(size=(4, 3))
+    assignment = matcher.assign_batch(0, 0, np.arange(4), utilities)
+    assert len(assignment) == 4
+
+
+def test_concentrates_on_top_brokers(rng):
+    """The overloaded phenomenon: one hot broker absorbs the demand."""
+    matcher = TopKRecommender(1, rng)
+    utilities = np.tile(np.linspace(0.1, 0.9, 10), (40, 1))
+    assignment = matcher.assign_batch(0, 0, np.arange(40), utilities)
+    assert assignment.broker_load() == {9: 40}
+
+
+def test_empty_batch(rng):
+    matcher = TopKRecommender(3, rng)
+    assignment = matcher.assign_batch(0, 0, np.array([], dtype=int), np.zeros((0, 4)))
+    assert len(assignment) == 0

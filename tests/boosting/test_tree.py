@@ -1,0 +1,72 @@
+"""Regression trees: fitting behaviour, constraints, prediction routing."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import RegressionTree
+
+
+def test_depth_zero_forbidden():
+    with pytest.raises(ValueError):
+        RegressionTree(max_depth=0)
+
+
+def test_fit_requires_samples():
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_fit_shape_mismatch():
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_predict_before_fit():
+    with pytest.raises(RuntimeError):
+        RegressionTree().predict(np.zeros((1, 2)))
+
+
+def test_constant_target_single_leaf():
+    x = np.linspace(0, 1, 20).reshape(-1, 1)
+    y = np.full(20, 3.0)
+    tree = RegressionTree().fit(x, y)
+    assert tree.num_nodes == 1
+    np.testing.assert_allclose(tree.predict(x), 3.0)
+
+
+def test_step_function_recovered():
+    x = np.linspace(0, 1, 200).reshape(-1, 1)
+    y = np.where(x[:, 0] < 0.5, 1.0, 5.0)
+    tree = RegressionTree(max_depth=2).fit(x, y)
+    pred = tree.predict(x)
+    np.testing.assert_allclose(pred, y, atol=0.01)
+
+
+def test_depth_limits_splits(rng):
+    x = rng.uniform(size=(300, 3))
+    y = np.sin(6 * x[:, 0]) + x[:, 1]
+    shallow = RegressionTree(max_depth=1).fit(x, y)
+    deep = RegressionTree(max_depth=5).fit(x, y)
+    shallow_mse = np.mean((shallow.predict(x) - y) ** 2)
+    deep_mse = np.mean((deep.predict(x) - y) ** 2)
+    assert deep_mse < shallow_mse
+    assert shallow.num_nodes <= 3
+
+
+def test_min_samples_leaf_respected(rng):
+    x = rng.uniform(size=(20, 1))
+    y = rng.normal(size=20)
+    tree = RegressionTree(max_depth=10, min_samples_leaf=10).fit(x, y)
+    # With 20 samples and min leaf 10, at most one split is possible.
+    assert tree.num_nodes <= 3
+
+
+def test_prediction_is_leaf_mean(rng):
+    x = rng.uniform(size=(100, 2))
+    y = rng.normal(size=100)
+    tree = RegressionTree(max_depth=3).fit(x, y)
+    pred = tree.predict(x)
+    # Predictions take finitely many values (leaf means) and are bounded by y.
+    assert np.unique(pred).size <= 2**3
+    assert pred.min() >= y.min() - 1e-12
+    assert pred.max() <= y.max() + 1e-12

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic instances reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import SyntheticConfig, generate_city
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SyntheticConfig:
+    """A minutes-fast synthetic city configuration."""
+    return SyntheticConfig(
+        num_brokers=40,
+        num_requests=600,
+        num_days=3,
+        imbalance=0.05,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_platform(tiny_config: SyntheticConfig):
+    """A generated tiny city; tests must call ``reset()`` before driving it."""
+    return generate_city(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def small_platform():
+    """A somewhat larger city for behaviour (ordering) tests."""
+    config = SyntheticConfig(
+        num_brokers=120,
+        num_requests=3600,
+        num_days=6,
+        imbalance=0.02,
+        seed=5,
+    )
+    return generate_city(config)

@@ -1,0 +1,55 @@
+"""Configuration dataclasses: defaults and validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AssignmentConfig, BanditConfig, LACBConfig
+
+
+def test_bandit_defaults_match_paper():
+    config = BanditConfig()
+    assert config.lam == pytest.approx(0.001)
+    assert config.batch_size == 16  # "preset as 16"
+    assert len(config.hidden_sizes) == 2  # 3-layer MLP with the input layer
+
+
+def test_bandit_validation():
+    with pytest.raises(ValueError):
+        BanditConfig(candidate_capacities=np.array([]))
+    with pytest.raises(ValueError):
+        BanditConfig(covariance="sparse")
+    with pytest.raises(ValueError):
+        BanditConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        BanditConfig(train_on="reward")
+    with pytest.raises(ValueError):
+        BanditConfig(epsilon=1.0)
+
+
+def test_assignment_defaults_match_paper():
+    config = AssignmentConfig()
+    assert config.learning_rate == pytest.approx(0.25)  # beta
+    assert config.discount == pytest.approx(0.9)  # gamma
+    assert config.threshold == pytest.approx(0.8)  # delta
+
+
+def test_assignment_validation():
+    with pytest.raises(ValueError):
+        AssignmentConfig(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        AssignmentConfig(discount=-0.1)
+
+
+def test_lacb_config_composition():
+    config = LACBConfig()
+    assert config.personalize is True
+    assert config.assignment.use_cbs is False
+    opt = LACBConfig(assignment=AssignmentConfig(use_cbs=True))
+    assert opt.assignment.use_cbs is True
+
+
+def test_capacity_grid_default():
+    grid = BanditConfig().candidate_capacities
+    assert grid.min() >= 2.0  # no prominently-low-sign-up capacities
+    assert grid.max() <= 60.0
+    assert np.all(np.diff(grid) > 0)

@@ -1,0 +1,70 @@
+"""Candidate Broker Selection (Alg. 3) and the Theorem 2 property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import candidate_broker_selection, select_candidate_brokers
+from repro.matching import solve_assignment
+
+
+def test_k_geq_size_returns_all(rng):
+    utilities = rng.uniform(size=6)
+    chosen = candidate_broker_selection(utilities, 10, rng)
+    np.testing.assert_array_equal(np.sort(chosen), np.arange(6))
+
+
+def test_k_zero_empty(rng):
+    assert candidate_broker_selection(rng.uniform(size=5), 0, rng).size == 0
+
+
+def test_rejects_matrix_input(rng):
+    with pytest.raises(ValueError):
+        candidate_broker_selection(rng.uniform(size=(2, 3)), 1, rng)
+
+
+def test_handles_all_equal_values(rng):
+    utilities = np.full(20, 0.5)
+    chosen = candidate_broker_selection(utilities, 7, rng)
+    assert chosen.size == 7
+    assert np.unique(chosen).size == 7
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 15), st.integers(0, 10_000))
+def test_quickselect_matches_argpartition(size, k, seed):
+    """CBS returns exactly a top-k index set (values match a sorted oracle)."""
+    rng = np.random.default_rng(seed)
+    utilities = rng.uniform(0, 1, size=size)
+    chosen = candidate_broker_selection(utilities, k, rng)
+    expected_k = min(k, size)
+    assert chosen.size == expected_k
+    assert np.unique(chosen).size == expected_k
+    oracle = np.sort(utilities)[::-1][:expected_k]
+    np.testing.assert_allclose(np.sort(utilities[chosen])[::-1], oracle)
+
+
+def test_union_selection_shape(rng):
+    utilities = rng.uniform(size=(4, 30))
+    chosen = select_candidate_brokers(utilities, 4, rng)
+    assert chosen.size >= 4  # each request contributes its own top-4
+    assert chosen.size <= 16
+    assert np.all(np.diff(chosen) > 0)  # sorted unique
+
+
+def test_rejects_vector_for_union(rng):
+    with pytest.raises(ValueError):
+        select_candidate_brokers(rng.uniform(size=5), 2, rng)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.integers(8, 40), st.integers(0, 10_000))
+def test_theorem2_cbs_preserves_optimal_value(n_requests, n_brokers, seed):
+    """Corollary 1: matching on the CBS-pruned graph loses no utility."""
+    rng = np.random.default_rng(seed)
+    utilities = rng.uniform(0.0, 1.0, size=(n_requests, n_brokers))
+    full = solve_assignment(utilities)
+    chosen = select_candidate_brokers(utilities, n_requests, rng)
+    pruned = solve_assignment(utilities[:, chosen])
+    assert pruned.total_weight == pytest.approx(full.total_weight)

@@ -1,0 +1,69 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ascii_chart, ascii_histogram
+
+
+def test_chart_contains_axes_legend_and_glyphs():
+    text = ascii_chart(
+        [1, 2, 3],
+        {"LACB": [1.0, 2.0, 3.0], "Top-3": [3.0, 2.0, 1.0]},
+        title="Utility",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Utility"
+    assert "o=LACB" in text and "x=Top-3" in text
+    assert "o" in text and "x" in text
+    assert any("+" in line and "-" in line for line in lines)  # x axis
+
+
+def test_chart_value_extents_labelled():
+    text = ascii_chart([0, 1], {"s": [5.0, 25.0]})
+    assert "25" in text
+    assert "5" in text
+
+
+def test_chart_log_scale():
+    text = ascii_chart([1, 2, 3], {"t": [1.0, 100.0, 10000.0]}, log_y=True)
+    assert "1.0e+04" in text or "10000" in text
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"t": [0.0, 1.0]}, log_y=True)
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([1], {"s": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {})
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"s": [1.0, 2.0, 3.0]})
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"s": [1.0, 2.0]}, width=4)
+
+
+def test_chart_constant_series():
+    text = ascii_chart([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+    assert "o" in text
+
+
+def test_histogram_bars_scale():
+    text = ascii_histogram(["a", "bb"], [2.0, 4.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        ascii_histogram(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ascii_histogram([], [])
+    with pytest.raises(ValueError):
+        ascii_histogram(["a"], [-1.0])
+
+
+def test_histogram_zero_values():
+    text = ascii_histogram(["a", "b"], [0.0, 0.0])
+    assert "a" in text and "b" in text

@@ -1,0 +1,41 @@
+"""Result persistence: JSON round-trips."""
+
+import numpy as np
+
+from repro.algorithms import make_matcher
+from repro.experiments import run_algorithm
+from repro.experiments.io import (
+    load_run_result,
+    load_sweep_result,
+    save_run_result,
+    save_sweep_result,
+)
+from repro.experiments.sweeps import SweepResult
+
+
+def test_run_result_roundtrip(tiny_platform, tmp_path):
+    result = run_algorithm(tiny_platform, make_matcher("Top-1", tiny_platform, seed=1))
+    path = tmp_path / "run.json"
+    save_run_result(result, path)
+    loaded = load_run_result(path)
+    assert loaded.algorithm == result.algorithm
+    assert loaded.total_realized_utility == result.total_realized_utility
+    assert loaded.num_assigned == result.num_assigned
+    np.testing.assert_allclose(loaded.broker_utility, result.broker_utility)
+    np.testing.assert_allclose(loaded.daily_decision_time, result.daily_decision_time)
+
+
+def test_sweep_result_roundtrip(tmp_path):
+    sweep = SweepResult(
+        factor="num_brokers",
+        values=[10.0, 20.0],
+        utilities={"LACB": [1.0, 2.0]},
+        times={"LACB": [0.1, 0.2]},
+    )
+    path = tmp_path / "sweep.json"
+    save_sweep_result(sweep, path)
+    loaded = load_sweep_result(path)
+    assert loaded.factor == "num_brokers"
+    assert loaded.values == [10.0, 20.0]
+    assert loaded.utilities == {"LACB": [1.0, 2.0]}
+    assert loaded.times == {"LACB": [0.1, 0.2]}

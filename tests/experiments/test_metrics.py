@@ -1,0 +1,147 @@
+"""Metrics: distributions, improvement fractions, Gini, speedups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.experiments import (
+    fraction_degraded,
+    fraction_improved,
+    gini,
+    overload_rate,
+    speedup,
+    top_broker_load_ratio,
+    utility_distribution,
+    workload_distribution,
+)
+from repro.experiments.metrics import jain_index, overload_severity
+from repro.experiments.runner import RunResult
+
+
+def _result(broker_utility, broker_workload=None, peak=None, time=1.0):
+    broker_utility = np.asarray(broker_utility, dtype=float)
+    n = broker_utility.size
+    workload = np.asarray(
+        broker_workload if broker_workload is not None else np.ones(n), dtype=float
+    )
+    return RunResult(
+        algorithm="X",
+        total_realized_utility=float(broker_utility.sum()),
+        total_predicted_utility=0.0,
+        daily_utility=np.array([broker_utility.sum()]),
+        broker_utility=broker_utility,
+        broker_workload=workload,
+        broker_peak_workload=np.asarray(peak if peak is not None else workload, dtype=float),
+        broker_signup=np.zeros(n),
+        decision_time=time,
+        daily_decision_time=np.array([time]),
+        num_assigned=0,
+    )
+
+
+def test_distributions_sorted_descending():
+    result = _result([1.0, 3.0, 2.0])
+    np.testing.assert_array_equal(utility_distribution(result), [3.0, 2.0, 1.0])
+    np.testing.assert_array_equal(utility_distribution(result, top_n=2), [3.0, 2.0])
+    result2 = _result([0, 0, 0], broker_workload=[5, 1, 9])
+    np.testing.assert_array_equal(workload_distribution(result2, top_n=2), [9, 5])
+
+
+def test_fraction_improved_and_degraded():
+    ours = _result([2.0, 1.0, 0.0, 0.0])
+    base = _result([1.0, 2.0, 0.0, 0.0])
+    assert fraction_improved(ours, base) == pytest.approx(0.5)
+    assert fraction_degraded(ours, base) == pytest.approx(0.5)
+    # Inactive-in-both brokers are excluded from the denominator.
+    ours2 = _result([2.0, 0.0])
+    base2 = _result([1.0, 0.0])
+    assert fraction_improved(ours2, base2) == pytest.approx(1.0)
+
+
+def test_overload_rate():
+    result = _result([0, 0, 0], peak=[10, 30, 50])
+    capacities = np.array([20.0, 20.0, 20.0])
+    assert overload_rate(result, capacities) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        overload_rate(result, np.ones(2))
+
+
+def test_overload_severity_distinguishes_regimes():
+    capacities = np.array([20.0, 20.0, 20.0, 20.0])
+    # One star far past capacity (the Top-K regime)...
+    concentrated = _result([0, 0, 0, 0], peak=[80, 5, 5, 5])
+    # ...vs everyone slightly at/over capacity (the LACB regime).
+    near_capacity = _result([0, 0, 0, 0], peak=[22, 21, 22, 21])
+    assert overload_severity(concentrated, capacities) > overload_severity(
+        near_capacity, capacities
+    )
+    # The plain rate metric sees the opposite — that is why severity exists.
+    assert overload_rate(concentrated, capacities) < overload_rate(
+        near_capacity, capacities
+    )
+    with pytest.raises(ValueError):
+        overload_severity(concentrated, np.ones(2))
+
+
+def test_top_broker_load_ratio():
+    result = _result([0, 0, 0, 0], broker_workload=[12, 2, 2, 0])
+    # Average over active brokers = (12 + 2 + 2) / 3.
+    assert top_broker_load_ratio(result) == pytest.approx(12 / (16 / 3))
+
+
+def test_gini_extremes():
+    assert gini(np.array([1.0, 1.0, 1.0])) == pytest.approx(0.0, abs=1e-9)
+    concentrated = np.zeros(100)
+    concentrated[0] = 10.0
+    assert gini(concentrated) > 0.95
+    assert gini(np.zeros(5)) == 0.0
+    with pytest.raises(ValueError):
+        gini(np.array([-1.0, 2.0]))
+    with pytest.raises(ValueError):
+        gini(np.array([]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(1, 30), elements=st.floats(0, 100)))
+def test_gini_bounded(values):
+    coefficient = gini(values)
+    assert -1e-9 <= coefficient < 1.0
+
+
+def test_jain_index_extremes():
+    assert jain_index(np.array([3.0, 3.0, 3.0])) == pytest.approx(1.0)
+    concentrated = np.zeros(10)
+    concentrated[0] = 5.0
+    assert jain_index(concentrated) == pytest.approx(0.1)
+    assert jain_index(np.zeros(4)) == 1.0
+    with pytest.raises(ValueError):
+        jain_index(np.array([]))
+    with pytest.raises(ValueError):
+        jain_index(np.array([-1.0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float64, st.integers(1, 30), elements=st.floats(0, 100)))
+def test_jain_index_bounded(values):
+    index = jain_index(values)
+    assert 1.0 / values.size - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, st.integers(2, 20), elements=st.floats(0.01, 100)))
+def test_gini_and_jain_agree_on_ordering(values):
+    """More concentrated (one value doubled) => lower Jain, higher Gini."""
+    boosted = values.copy()
+    boosted[0] = values.sum() * 2  # force concentration
+    assert jain_index(boosted) <= jain_index(np.full_like(values, values.mean())) + 1e-9
+    assert gini(boosted) >= gini(np.full_like(values, values.mean())) - 1e-9
+
+
+def test_speedup():
+    fast = _result([1.0], time=0.5)
+    slow = _result([1.0], time=5.0)
+    assert speedup(fast, slow) == pytest.approx(10.0)
+    zero = _result([1.0], time=0.0)
+    assert speedup(zero, slow) == float("inf")

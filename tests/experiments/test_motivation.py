@@ -1,0 +1,43 @@
+"""Motivation-study reproduction: Figs. 2-4 shapes on the tiny city."""
+
+import numpy as np
+
+from repro.experiments import signup_vs_workload, top_broker_curves, workload_concentration
+
+
+def test_signup_vs_workload_structure(small_platform):
+    study = signup_vs_workload(small_platform, seed=1, overload_threshold=25.0)
+    assert study.bin_centers.size >= 2
+    assert study.mean_signup.shape == study.bin_centers.shape
+    assert study.count.sum() > 0
+    assert 0 <= study.mean_signup.min() and study.mean_signup.max() <= 1.0
+
+
+def test_overloaded_brokers_convert_worse(small_platform):
+    """Fig. 2's core claim: rates drop past the overload threshold."""
+    study = signup_vs_workload(small_platform, seed=1, overload_threshold=25.0)
+    if study.high_band != (0.0, 0.0):  # overload observed on this instance
+        assert np.mean(study.high_band) < np.mean(study.low_band)
+        assert study.welch_p_value < 0.05
+
+
+def test_broker_curves_shapes(small_platform):
+    curves = top_broker_curves(small_platform, seed=1, top_n=5)
+    assert len(curves) == 5
+    for curve in curves:
+        assert curve.workload_grid.shape == curve.expected_signup.shape
+        assert curve.observed_workloads.size > 0
+        # Unimodal ground truth: the peak is interior, not at the grid edge.
+        assert 1 < curve.accustomed_workload < 80
+    # Broker-specific: the peaks differ across the top brokers.
+    peaks = {curve.accustomed_workload for curve in curves}
+    assert len(peaks) > 1
+
+
+def test_workload_concentration(small_platform):
+    concentration = workload_concentration(small_platform, seed=1, top_n=20)
+    assert concentration.top_workloads.size == 20
+    assert np.all(np.diff(concentration.top_workloads) <= 1e-12)
+    # Fig. 4's message: the top broker carries a multiple of the average.
+    assert concentration.top1_ratio > 2.0
+    assert concentration.city_average > 0

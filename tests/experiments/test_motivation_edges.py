@@ -1,0 +1,39 @@
+"""Motivation-study edge cases."""
+
+import numpy as np
+
+from repro.experiments import signup_vs_workload, top_broker_curves, workload_concentration
+from repro.simulation import SyntheticConfig, generate_city
+
+
+def _tiny():
+    return generate_city(
+        SyntheticConfig(num_brokers=15, num_requests=150, num_days=2, imbalance=0.2, seed=12)
+    )
+
+
+def test_no_overload_observed_yields_nan_pvalue():
+    platform = _tiny()
+    # Threshold far above anything reachable: the above-group is empty.
+    study = signup_vs_workload(platform, seed=1, overload_threshold=10_000.0)
+    assert np.isnan(study.welch_p_value)
+    assert study.high_band == (0.0, 0.0)
+
+
+def test_bin_width_controls_resolution():
+    platform = _tiny()
+    coarse = signup_vs_workload(platform, seed=1, bin_width=20)
+    fine = signup_vs_workload(platform, seed=1, bin_width=2)
+    assert fine.bin_centers.size >= coarse.bin_centers.size
+
+
+def test_concentration_top_n_clamped():
+    platform = _tiny()
+    concentration = workload_concentration(platform, seed=1, top_n=500)
+    assert concentration.top_workloads.size <= platform.num_brokers
+
+
+def test_curves_top_n_clamped():
+    platform = _tiny()
+    curves = top_broker_curves(platform, seed=1, top_n=500)
+    assert len(curves) == platform.num_brokers

@@ -1,0 +1,55 @@
+"""Real-like city evaluation: structure and headline statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import evaluate_city
+
+ALGORITHMS = ("Top-3", "RR", "CTop-3", "LACB")
+
+
+@pytest.fixture(scope="module")
+def city_a():
+    # Scale 0.03 is the smallest at which City A's demand concentration
+    # makes capacities bind (below it CTop-K degenerates to Top-K).
+    return evaluate_city("A", scale=0.03, seed=3, algorithms=ALGORITHMS)
+
+
+def test_all_algorithms_ran(city_a):
+    assert set(city_a.results) == set(ALGORITHMS)
+    for run in city_a.results.values():
+        assert run.total_realized_utility > 0
+
+
+def test_capacity_awareness_beats_topk(city_a):
+    assert (
+        city_a.results["CTop-3"].total_realized_utility
+        > city_a.results["Top-3"].total_realized_utility
+    )
+    assert (
+        city_a.results["LACB"].total_realized_utility
+        > city_a.results["Top-3"].total_realized_utility
+    )
+
+
+def test_improvement_fractions_recorded(city_a):
+    assert "LACB" in city_a.improved_vs_top3
+    assert 0.0 <= city_a.improved_vs_top3["LACB"] <= 1.0
+    assert 0.0 <= city_a.rr_degraded_vs_top3 <= 1.0
+    # Fig. 9: most brokers gain under LACB, and RR hurts a visible minority.
+    assert city_a.improved_vs_top3["LACB"] > 0.5
+
+
+def test_series_accessors(city_a):
+    utility_series = city_a.top_utility_series(top_n=10)
+    workload_series = city_a.top_workload_series(top_n=10)
+    for name in ALGORITHMS:
+        assert utility_series[name].shape == (10,)
+        assert np.all(np.diff(workload_series[name]) <= 1e-12)
+
+
+def test_utility_table_rows(city_a):
+    rows = city_a.utility_table()
+    assert len(rows) == len(ALGORITHMS)
+    names = [row[0] for row in rows]
+    assert names == list(ALGORITHMS)

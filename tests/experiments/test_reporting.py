@@ -1,0 +1,41 @@
+"""Text reporting helpers."""
+
+import pytest
+
+from repro.experiments import format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["algorithm", "utility"],
+        [("Top-3", 12.3456), ("LACB", 45.6)],
+        title="Results",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Results"
+    assert "algorithm" in lines[1]
+    assert "12.35" in text
+    assert "LACB" in text
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [("only-one",)])
+
+
+def test_float_rendering():
+    text = format_table(["x"], [(0.00001,), (123456.0,), (0.0,)])
+    assert "1.000e-05" in text
+    assert "1.235e+05" in text
+
+
+def test_format_series():
+    text = format_series(
+        "|B|",
+        [100, 200],
+        {"LACB": [1.0, 2.0], "KM": [0.5, 0.7]},
+        title="Utility",
+    )
+    assert text.splitlines()[0] == "Utility"
+    assert "|B|" in text
+    assert "LACB" in text and "KM" in text

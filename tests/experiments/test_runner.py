@@ -1,0 +1,50 @@
+"""Experiment runner: accounting invariants across full runs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_matcher
+from repro.experiments import compare_algorithms, run_algorithm
+
+
+def test_run_result_accounting(tiny_platform):
+    result = run_algorithm(tiny_platform, make_matcher("Top-3", tiny_platform, seed=1))
+    assert result.algorithm == "Top-3"
+    assert result.num_assigned == len(tiny_platform.stream)
+    assert result.daily_utility.shape == (tiny_platform.num_days,)
+    assert result.total_realized_utility == pytest.approx(result.daily_utility.sum())
+    assert result.broker_utility.shape == (tiny_platform.num_brokers,)
+    assert result.total_realized_utility == pytest.approx(result.broker_utility.sum())
+    # Mean daily workloads sum to requests/day on average.
+    assert result.broker_workload.sum() * tiny_platform.num_days == pytest.approx(
+        len(tiny_platform.stream)
+    )
+    assert result.decision_time > 0
+    assert result.daily_decision_time.shape == (tiny_platform.num_days,)
+    assert np.all(result.broker_peak_workload >= result.broker_workload - 1e-9)
+
+
+def test_runs_are_reproducible(tiny_platform):
+    a = run_algorithm(tiny_platform, make_matcher("KM", tiny_platform, seed=1))
+    b = run_algorithm(tiny_platform, make_matcher("KM", tiny_platform, seed=1))
+    assert a.total_realized_utility == pytest.approx(b.total_realized_utility)
+    np.testing.assert_allclose(a.broker_utility, b.broker_utility)
+
+
+def test_store_outcomes(tiny_platform):
+    result = run_algorithm(
+        tiny_platform, make_matcher("Top-1", tiny_platform, seed=1), store_outcomes=True
+    )
+    assert len(result.outcomes) == tiny_platform.num_days
+    lean = run_algorithm(tiny_platform, make_matcher("Top-1", tiny_platform, seed=1))
+    assert lean.outcomes == []
+
+
+def test_compare_runs_on_identical_instance(tiny_platform):
+    results = compare_algorithms(
+        tiny_platform,
+        [make_matcher("Top-1", tiny_platform, seed=1), make_matcher("RR", tiny_platform, seed=1)],
+    )
+    assert set(results) == {"Top-1", "RR"}
+    # Both served the full stream: the instance was reset between runs.
+    assert results["Top-1"].num_assigned == results["RR"].num_assigned

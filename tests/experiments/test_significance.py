@@ -1,0 +1,52 @@
+"""Multi-seed significance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.significance import (
+    Comparison,
+    SeededUtilities,
+    compare,
+    seeded_utilities,
+)
+
+
+def test_seeded_stats():
+    sample = SeededUtilities("X", (10.0, 12.0, 14.0))
+    assert sample.mean == pytest.approx(12.0)
+    assert sample.std == pytest.approx(2.0)
+    single = SeededUtilities("X", (10.0,))
+    assert single.std == 0.0
+
+
+def test_compare_detects_clear_gap():
+    strong = SeededUtilities("A", (100.0, 101.0, 99.0))
+    weak = SeededUtilities("B", (50.0, 52.0, 48.0))
+    result = compare(strong, weak)
+    assert result.difference == pytest.approx(50.0)
+    assert result.significant()
+
+
+def test_compare_overlapping_samples_not_significant():
+    a = SeededUtilities("A", (100.0, 90.0, 110.0))
+    b = SeededUtilities("B", (98.0, 108.0, 92.0))
+    result = compare(a, b)
+    assert not result.significant(level=0.01)
+
+
+def test_compare_single_seed_nan():
+    result = compare(SeededUtilities("A", (1.0,)), SeededUtilities("B", (2.0,)))
+    assert np.isnan(result.p_value)
+    assert not result.significant()
+
+
+def test_seeded_utilities_runs(tiny_platform):
+    sample = seeded_utilities(tiny_platform, "Top-1", seeds=(1, 2))
+    assert sample.algorithm == "Top-1"
+    assert len(sample.utilities) == 2
+    assert all(u > 0 for u in sample.utilities)
+
+
+def test_seeded_utilities_requires_seeds(tiny_platform):
+    with pytest.raises(ValueError):
+        seeded_utilities(tiny_platform, "Top-1", seeds=())

@@ -1,0 +1,45 @@
+"""Sweeps: structure of Fig. 8 columns and the matching-time profile."""
+
+import pytest
+
+from repro.experiments import matching_time_profile, sweep
+from repro.simulation import SyntheticConfig
+
+
+def test_sweep_rejects_unknown_factor():
+    with pytest.raises(ValueError):
+        sweep("num_cities", [1], SyntheticConfig())
+
+
+def test_sweep_structure():
+    base = SyntheticConfig(num_brokers=30, num_requests=240, num_days=2, imbalance=0.1, seed=2)
+    result = sweep(
+        "num_brokers", [20, 40], base, algorithms=("Top-1", "CTop-3"), seed=1
+    )
+    assert result.factor == "num_brokers"
+    assert result.values == [20.0, 40.0]
+    assert set(result.utilities) == {"Top-1", "CTop-3"}
+    assert len(result.utilities["Top-1"]) == 2
+    assert all(t >= 0 for t in result.times["CTop-3"])
+
+
+def test_utility_grows_with_requests():
+    base = SyntheticConfig(num_brokers=30, num_requests=240, num_days=2, imbalance=0.1, seed=2)
+    result = sweep("num_requests", [200, 800], base, algorithms=("CTop-3",), seed=1)
+    utilities = result.utilities["CTop-3"]
+    assert utilities[1] > utilities[0]
+
+
+def test_matching_time_profile_speedup():
+    profile = matching_time_profile(num_brokers=300, batch_size=6, repeats=2)
+    assert profile.km_square_seconds > 0
+    assert profile.cbs_km_seconds > 0
+    # The whole point of CBS (Sec. VI-C): pruning beats the square solve.
+    assert profile.speedup > 2.0
+
+
+def test_speedup_grows_with_imbalance():
+    """Fig. 8 column 4: smaller sigma (more brokers per request) => bigger speedup."""
+    balanced = matching_time_profile(num_brokers=150, batch_size=12, repeats=2)
+    imbalanced = matching_time_profile(num_brokers=450, batch_size=4, repeats=2)
+    assert imbalanced.speedup > balanced.speedup

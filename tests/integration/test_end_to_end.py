@@ -1,0 +1,60 @@
+"""Cross-module integration: the paper's headline behaviours end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_matcher
+from repro.experiments import fraction_improved, run_algorithm
+from repro.experiments.metrics import gini, top_broker_load_ratio
+
+
+@pytest.fixture(scope="module")
+def roster(small_platform):
+    names = ("Top-1", "Top-3", "RR", "KM", "CTop-3", "LACB")
+    return {
+        name: run_algorithm(small_platform, make_matcher(name, small_platform, seed=11))
+        for name in names
+    }
+
+
+def test_every_algorithm_serves_all_requests(small_platform, roster):
+    for name in ("Top-1", "Top-3", "RR"):
+        assert roster[name].num_assigned == len(small_platform.stream), name
+
+
+def test_capacity_awareness_beats_recommendation(roster):
+    """The paper's central result on realized utility ordering."""
+    assert roster["CTop-3"].total_realized_utility > roster["Top-3"].total_realized_utility
+    assert roster["LACB"].total_realized_utility > roster["Top-3"].total_realized_utility
+    assert roster["LACB"].total_realized_utility > roster["Top-1"].total_realized_utility
+    assert roster["LACB"].total_realized_utility > roster["KM"].total_realized_utility
+    assert roster["LACB"].total_realized_utility > roster["RR"].total_realized_utility
+
+
+def test_lacb_improves_most_brokers(roster):
+    """Sec. VII-D: the large majority of brokers gain utility under LACB."""
+    assert fraction_improved(roster["LACB"], roster["Top-3"]) > 0.5
+
+
+def test_topk_concentrates_workload_most(roster):
+    """Fig. 10's message: Top-K loads its stars hardest; RR the least."""
+    assert top_broker_load_ratio(roster["Top-1"]) > top_broker_load_ratio(roster["RR"])
+    top1_gini = gini(roster["Top-1"].broker_workload)
+    rr_gini = gini(roster["RR"].broker_workload)
+    assert top1_gini > rr_gini
+
+
+def test_lacb_caps_top_broker_peaks(small_platform, roster):
+    """LACB's top brokers run below Top-1's peaks (low overload risk)."""
+    assert (
+        np.sort(roster["LACB"].broker_peak_workload)[-5:].sum()
+        < np.sort(roster["Top-1"].broker_peak_workload)[-5:].sum()
+    )
+
+
+def test_predicted_vs_realized_gap_largest_for_topk(roster):
+    """Overload is why Top-K's promised utility does not materialize."""
+    def realization_ratio(result):
+        return result.total_realized_utility / result.total_predicted_utility
+
+    assert realization_ratio(roster["Top-1"]) < realization_ratio(roster["LACB"])

@@ -1,0 +1,47 @@
+"""Matching validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.matching import MatchResult, assert_valid_matching, is_valid_matching
+
+
+def test_valid_partial_matching():
+    result = MatchResult(pairs=[(0, 1), (2, 0)], total_weight=1.0)
+    assert is_valid_matching(result, n_rows=3, n_cols=2)
+
+
+def test_duplicate_row_invalid():
+    result = MatchResult(pairs=[(0, 1), (0, 0)], total_weight=1.0)
+    assert not is_valid_matching(result, 3, 2)
+
+
+def test_duplicate_col_invalid():
+    result = MatchResult(pairs=[(0, 1), (2, 1)], total_weight=1.0)
+    assert not is_valid_matching(result, 3, 2)
+
+
+def test_out_of_range_invalid():
+    assert not is_valid_matching(MatchResult(pairs=[(5, 0)], total_weight=0.0), 3, 2)
+    assert not is_valid_matching(MatchResult(pairs=[(0, -1)], total_weight=0.0), 3, 2)
+
+
+def test_non_finite_weight_invalid():
+    result = MatchResult(pairs=[(0, 0)], total_weight=float("nan"))
+    assert not is_valid_matching(result, 1, 1)
+
+
+def test_assert_valid_checks_total(rng):
+    weights = rng.uniform(size=(2, 2))
+    good = MatchResult(pairs=[(0, 0)], total_weight=float(weights[0, 0]))
+    assert_valid_matching(good, weights)
+    bad = MatchResult(pairs=[(0, 0)], total_weight=float(weights[0, 0]) + 1.0)
+    with pytest.raises(AssertionError):
+        assert_valid_matching(bad, weights)
+
+
+def test_assert_valid_rejects_structure(rng):
+    weights = rng.uniform(size=(2, 2))
+    broken = MatchResult(pairs=[(0, 0), (1, 0)], total_weight=0.0)
+    with pytest.raises(AssertionError):
+        assert_valid_matching(broken, weights)

@@ -1,0 +1,36 @@
+"""Gaussian initialization: shapes, scale, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import gaussian_init
+
+
+def test_shape(rng):
+    weights = gaussian_init(10, 7, rng)
+    assert weights.shape == (7, 10)
+
+
+def test_he_scale(rng):
+    fan_in = 400
+    weights = gaussian_init(fan_in, 200, rng)
+    expected_std = np.sqrt(2.0 / fan_in)
+    assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+
+def test_explicit_scale(rng):
+    weights = gaussian_init(100, 100, rng, scale=0.5)
+    assert weights.std() == pytest.approx(0.5, rel=0.1)
+
+
+def test_rejects_bad_dimensions(rng):
+    with pytest.raises(ValueError):
+        gaussian_init(0, 3, rng)
+    with pytest.raises(ValueError):
+        gaussian_init(3, -1, rng)
+
+
+def test_deterministic_given_seed():
+    a = gaussian_init(4, 4, np.random.default_rng(1))
+    b = gaussian_init(4, 4, np.random.default_rng(1))
+    np.testing.assert_array_equal(a, b)

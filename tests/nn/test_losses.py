@@ -1,0 +1,56 @@
+"""Loss functions: values, gradients, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import l2_penalty, mse_loss
+
+
+def test_mse_value_and_gradient():
+    pred = np.array([1.0, 2.0, 3.0])
+    target = np.array([0.0, 2.0, 5.0])
+    loss, grad = mse_loss(pred, target)
+    assert loss == pytest.approx(1.0 + 0.0 + 4.0)
+    np.testing.assert_allclose(grad, [2.0, 0.0, -4.0])
+
+
+def test_mse_shape_mismatch():
+    with pytest.raises(ValueError):
+        mse_loss(np.zeros(3), np.zeros(4))
+
+
+def test_l2_penalty_value_and_gradient():
+    theta = np.array([1.0, -2.0])
+    loss, grad = l2_penalty(theta, 0.5)
+    assert loss == pytest.approx(0.5 * 5.0)
+    np.testing.assert_allclose(grad, [1.0, -2.0])
+
+
+def test_l2_rejects_negative_lambda():
+    with pytest.raises(ValueError):
+        l2_penalty(np.ones(2), -0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 10), elements=st.floats(-10, 10)),
+)
+def test_mse_zero_at_target(values):
+    loss, grad = mse_loss(values, values)
+    assert loss == 0.0
+    assert np.all(grad == 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 10), elements=st.floats(-10, 10)),
+    arrays(np.float64, st.integers(1, 10), elements=st.floats(-10, 10)),
+)
+def test_mse_nonnegative(pred, target):
+    if pred.shape != target.shape:
+        return
+    loss, _ = mse_loss(pred, target)
+    assert loss >= 0.0

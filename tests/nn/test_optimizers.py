@@ -1,0 +1,52 @@
+"""Optimizers: parameter validation, descent behaviour, freezing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, SGD, Adam
+
+
+@pytest.mark.parametrize("factory", [SGD, Adam])
+def test_rejects_nonpositive_learning_rate(factory):
+    with pytest.raises(ValueError):
+        factory(learning_rate=0.0)
+
+
+def test_sgd_rejects_bad_momentum():
+    with pytest.raises(ValueError):
+        SGD(0.1, momentum=1.0)
+
+
+def _quadratic_progress(optimizer, rng, steps=200):
+    net = MLP([2, 8, 1], rng)
+    x = rng.uniform(-1, 1, size=(64, 2))
+    y = 2.0 * x[:, 0] - x[:, 1]
+    losses = [net.train_step(x, y, optimizer) for _ in range(steps)]
+    return losses
+
+
+def test_sgd_descends(rng):
+    losses = _quadratic_progress(SGD(0.001), rng)
+    assert losses[-1] < losses[0]
+
+
+def test_sgd_momentum_descends(rng):
+    losses = _quadratic_progress(SGD(0.001, momentum=0.9), rng)
+    assert losses[-1] < losses[0]
+
+
+def test_adam_descends_faster_than_one_step(rng):
+    losses = _quadratic_progress(Adam(0.01), rng)
+    assert losses[-1] < 0.1 * losses[0]
+
+
+def test_optimizers_respect_frozen_layers(rng):
+    for optimizer in (SGD(0.01), Adam(0.01)):
+        net = MLP([2, 4, 1], rng)
+        net.layers[0].trainable = False
+        frozen_weight = net.layers[0].weight.copy()
+        x = rng.normal(size=(8, 2))
+        y = rng.normal(size=8)
+        for _ in range(3):
+            net.train_step(x, y, optimizer)
+        np.testing.assert_array_equal(net.layers[0].weight, frozen_weight)

@@ -1,0 +1,52 @@
+"""Broker profiles (Table II): generation ranges and vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import BrokerProfile, generate_profile
+from repro.simulation.attributes import EDUCATION_LEVELS, JOB_TITLES, RECENCY_WINDOWS
+
+
+def test_skill_validation(rng):
+    with pytest.raises(ValueError):
+        generate_profile(rng, 1.5)
+
+
+def test_profile_fields_in_range(rng):
+    profile = generate_profile(rng, 0.5)
+    assert 20 <= profile.age <= 60
+    assert 0.5 <= profile.working_years <= 25
+    assert profile.education in EDUCATION_LEVELS
+    assert profile.title in JOB_TITLES
+    assert 0 < profile.response_rate <= 1.0
+    assert len(profile.dialogue_rounds) == len(RECENCY_WINDOWS)
+    assert len(profile.served_clients) == len(RECENCY_WINDOWS)
+    assert abs(sum(profile.district_preference) - 1.0) < 1e-9
+    assert abs(sum(profile.type_preference) - 1.0) < 1e-9
+
+
+def test_windowed_statistics_grow_with_window(rng):
+    profile = generate_profile(rng, 0.6)
+    # 90-day totals exceed 7-day totals for all windowed attributes.
+    for stats in (profile.dialogue_rounds, profile.phone_consultations, profile.transactions):
+        assert stats[-1] > stats[0]
+
+
+def test_vector_is_finite_and_stable(rng):
+    profile = generate_profile(rng, 0.4)
+    vector = profile.to_vector()
+    assert np.all(np.isfinite(vector))
+    np.testing.assert_array_equal(vector, profile.to_vector())
+
+
+def test_vector_dimension_consistent(rng):
+    dims = {generate_profile(rng, s).to_vector().size for s in (0.0, 0.5, 1.0)}
+    assert len(dims) == 1
+
+
+def test_skilled_brokers_busier_on_average():
+    rng_low = np.random.default_rng(0)
+    rng_high = np.random.default_rng(0)
+    low = np.mean([generate_profile(rng_low, 0.1).served_clients[0] for _ in range(30)])
+    high = np.mean([generate_profile(rng_high, 0.9).served_clients[0] for _ in range(30)])
+    assert high > low

@@ -1,0 +1,55 @@
+"""Environment calibration against the paper's Sec. II statistics."""
+
+import pytest
+
+from repro.simulation import SyntheticConfig
+from repro.simulation.calibration import (
+    CalibrationTargets,
+    CityStatistics,
+    calibrate_capacity_scale,
+    calibration_error,
+    measure_city,
+)
+
+CONFIG = SyntheticConfig(
+    num_brokers=80, num_requests=2400, num_days=4, imbalance=0.03, seed=2
+)
+
+
+def test_measure_city_statistics():
+    statistics = measure_city(CONFIG, seed=3)
+    assert 0.0 < statistics.plateau_low <= statistics.plateau_high <= 1.0
+    assert statistics.top1_ratio > 1.0
+    assert statistics.knee > 0
+
+
+def test_error_zero_at_targets():
+    targets = CalibrationTargets()
+    perfect = CityStatistics(
+        plateau_low=targets.plateau_low,
+        plateau_high=targets.plateau_high,
+        top1_ratio=targets.top1_ratio,
+        knee=targets.overload_knee,
+    )
+    assert calibration_error(perfect, targets) == pytest.approx(0.0)
+
+
+def test_error_grows_with_mismatch():
+    targets = CalibrationTargets()
+    near = CityStatistics(0.15, 0.26, 11.0, 38.0)
+    far = CityStatistics(0.01, 0.9, 2.0, 100.0)
+    assert calibration_error(near, targets) < calibration_error(far, targets)
+
+
+def test_calibrate_capacity_scale_picks_minimum():
+    best, errors = calibrate_capacity_scale(
+        CONFIG, candidates=(0.8, 1.2), seed=3
+    )
+    assert best in errors
+    assert errors[best] == min(errors.values())
+    assert len(errors) == 2
+
+
+def test_calibrate_requires_candidates():
+    with pytest.raises(ValueError):
+        calibrate_capacity_scale(CONFIG, candidates=())

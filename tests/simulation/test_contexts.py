@@ -1,0 +1,80 @@
+"""Working-status contexts: dynamic features track assignment history."""
+
+import numpy as np
+
+from repro.core.types import AssignedPair, Assignment
+from repro.simulation import SyntheticConfig, generate_city
+from repro.simulation.platform import DYNAMIC_CONTEXT_DIM, WORKLOAD_NORM
+
+
+def _platform():
+    return generate_city(
+        SyntheticConfig(num_brokers=20, num_requests=400, num_days=3, imbalance=0.1, seed=8)
+    )
+
+
+def _serve(platform, day, broker):
+    served = 0
+    for batch in range(platform.batches_per_day):
+        requests = platform.batch_requests(day, batch)
+        utilities = platform.predicted_utilities(requests)
+        pairs = [
+            AssignedPair(int(r), broker, float(utilities[i, broker]))
+            for i, r in enumerate(requests)
+        ]
+        platform.submit_assignment(Assignment(day, batch, pairs))
+        served += len(pairs)
+    return served
+
+
+def test_context_layout():
+    platform = _platform()
+    contexts = platform.start_day(0)
+    static_dim = platform.population.context_dim
+    assert contexts.shape[1] == static_dim + DYNAMIC_CONTEXT_DIM
+    np.testing.assert_array_equal(contexts[:, :static_dim], platform.population.static_context)
+    platform.finish_day()
+
+
+def test_yesterday_workload_enters_context():
+    platform = _platform()
+    platform.start_day(0)
+    served = _serve(platform, 0, broker=5)
+    platform.finish_day()
+    contexts = platform.start_day(1)
+    static_dim = platform.population.context_dim
+    yesterday_feature = contexts[:, static_dim + 3]  # yesterday workload / norm
+    assert yesterday_feature[5] == served / WORKLOAD_NORM
+    assert yesterday_feature[6] == 0.0
+    platform.finish_day()
+
+
+def test_signup_feedback_enters_context():
+    platform = _platform()
+    platform.start_day(0)
+    _serve(platform, 0, broker=5)
+    outcome = platform.finish_day()
+    contexts = platform.start_day(1)
+    static_dim = platform.population.context_dim
+    last_signup_feature = contexts[:, static_dim + 5]
+    assert last_signup_feature[5] == outcome.signup_rates[5]
+    platform.finish_day()
+
+
+def test_seasonality_is_weekly():
+    platform = _platform()
+    base = platform.effective_capacity(0)
+    one_week_later = platform.effective_capacity(7)
+    np.testing.assert_allclose(base, one_week_later)
+    midweek = platform.effective_capacity(2)
+    assert not np.allclose(base, midweek)
+
+
+def test_day_zero_dynamic_features_clean():
+    platform = _platform()
+    contexts = platform.start_day(0)
+    static_dim = platform.population.context_dim
+    # fatigue, yesterday workload, mean-7, last signup, total served all zero
+    for offset in (0, 3, 4, 5, 6):
+        assert np.all(contexts[:, static_dim + offset] == 0.0)
+    platform.finish_day()

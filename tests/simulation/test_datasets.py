@@ -1,0 +1,76 @@
+"""Dataset factories: Table III configs and Table IV-like cities."""
+
+import pytest
+
+from repro.simulation import REAL_CITY_SPECS, SyntheticConfig, generate_city, real_like_city
+
+
+def test_default_config_matches_table3():
+    config = SyntheticConfig()
+    assert config.num_brokers == 2000
+    assert config.num_requests == 50_000
+    assert config.num_days == 14
+    assert config.imbalance == pytest.approx(0.015)
+    assert config.batch_size == 30  # 0.015 * 2000
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticConfig(num_brokers=0)
+    with pytest.raises(ValueError):
+        SyntheticConfig(imbalance=0.0)
+
+
+def test_batches_cover_requests():
+    config = SyntheticConfig(num_brokers=100, num_requests=999, num_days=3, imbalance=0.02)
+    total_slots = config.num_days * config.batches_per_day * config.batch_size
+    assert total_slots >= config.num_requests
+
+
+def test_generate_city_dimensions():
+    config = SyntheticConfig(num_brokers=25, num_requests=200, num_days=2, imbalance=0.08, seed=1)
+    platform = generate_city(config)
+    assert platform.num_brokers == 25
+    assert platform.num_days == 2
+    assert len(platform.stream) == 200
+
+
+def test_generation_deterministic():
+    config = SyntheticConfig(num_brokers=25, num_requests=200, num_days=2, seed=9)
+    a = generate_city(config)
+    b = generate_city(config)
+    assert (a.population.latent_capacity == b.population.latent_capacity).all()
+    assert (a.stream.district == b.stream.district).all()
+
+
+def test_real_city_specs_match_table4():
+    assert REAL_CITY_SPECS["A"].brokers == 5515
+    assert REAL_CITY_SPECS["A"].requests == 103_106
+    assert REAL_CITY_SPECS["B"].brokers == 8155
+    assert REAL_CITY_SPECS["B"].requests == 387_339
+    assert REAL_CITY_SPECS["C"].brokers == 3689
+    assert REAL_CITY_SPECS["C"].requests == 74_831
+    # CTop-K empirical capacities of Sec. VII-A.
+    assert [REAL_CITY_SPECS[c].empirical_capacity for c in "ABC"] == [45, 55, 40]
+    assert all(spec.days == 21 for spec in REAL_CITY_SPECS.values())
+
+
+def test_real_like_city_scaling():
+    platform, spec, config = real_like_city("A", scale=0.02)
+    assert platform.num_brokers == round(5515 * 0.02)
+    assert config.num_requests == round(103_106 * 0.02)
+    assert platform.num_days == 21
+    assert spec.name == "A"
+
+
+def test_real_like_city_validation():
+    with pytest.raises(KeyError):
+        real_like_city("D")
+    with pytest.raises(ValueError):
+        real_like_city("A", scale=0.0)
+
+
+def test_cities_differ():
+    a, _, _ = real_like_city("A", scale=0.01)
+    c, _, _ = real_like_city("C", scale=0.01)
+    assert a.num_brokers != c.num_brokers

@@ -1,0 +1,94 @@
+"""Learning-by-doing dynamics (the Matthew-effect mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AssignedPair, Assignment
+from repro.simulation import RealEstatePlatform, SyntheticConfig, generate_city
+
+
+def _platform(skill_growth):
+    config = SyntheticConfig(
+        num_brokers=30,
+        num_requests=600,
+        num_days=4,
+        imbalance=0.1,
+        skill_growth=skill_growth,
+        seed=6,
+    )
+    return generate_city(config)
+
+
+def _serve_broker(platform, day, broker):
+    platform.start_day(day)
+    for batch in range(platform.batches_per_day):
+        requests = platform.batch_requests(day, batch)
+        utilities = platform.predicted_utilities(requests)
+        pairs = [
+            AssignedPair(int(r), broker, float(utilities[i, broker]))
+            for i, r in enumerate(requests)
+        ]
+        platform.submit_assignment(Assignment(day, batch, pairs))
+    return platform.finish_day()
+
+
+def test_validation(tiny_platform):
+    with pytest.raises(ValueError):
+        RealEstatePlatform(tiny_platform.population, tiny_platform.stream, skill_growth=-0.1)
+
+
+def test_rookies_start_below_potential():
+    platform = _platform(0.0)
+    population = platform.population
+    assert np.all(population.base_quality <= population.potential_quality + 1e-12)
+    rookies = population.experience < 0.4
+    if rookies.any():
+        gap = population.potential_quality[rookies] - population.base_quality[rookies]
+        assert gap.min() > 0
+
+
+def test_no_growth_when_disabled():
+    platform = _platform(0.0)
+    before = platform.population.base_quality.copy()
+    _serve_broker(platform, 0, broker=3)
+    np.testing.assert_array_equal(platform.population.base_quality, before)
+
+
+def test_serving_grows_quality_toward_potential():
+    platform = _platform(0.05)
+    broker = int(np.argmax(platform.population.potential_quality - platform.population.base_quality))
+    before = platform.population.base_quality[broker]
+    _serve_broker(platform, 0, broker=broker)
+    after = platform.population.base_quality[broker]
+    assert after > before
+    assert after <= platform.population.potential_quality[broker] + 1e-12
+
+
+def test_idle_brokers_do_not_grow():
+    platform = _platform(0.05)
+    idle = 7
+    served = 3
+    before = platform.population.base_quality[idle]
+    _serve_broker(platform, 0, broker=served)
+    assert platform.population.base_quality[idle] == before
+
+
+def test_reset_restores_quality():
+    platform = _platform(0.05)
+    original = platform.population.base_quality.copy()
+    _serve_broker(platform, 0, broker=3)
+    assert not np.array_equal(platform.population.base_quality, original)
+    platform.reset()
+    np.testing.assert_array_equal(platform.population.base_quality, original)
+
+
+def test_growth_raises_future_utilities():
+    platform = _platform(0.08)
+    broker = int(
+        np.argmax(platform.population.potential_quality - platform.population.base_quality)
+    )
+    probe = platform.stream.batch_indices(1, 0)
+    before = platform.predicted_utilities(probe)[:, broker].mean()
+    _serve_broker(platform, 0, broker=broker)
+    after = platform.predicted_utilities(probe)[:, broker].mean()
+    assert after > before

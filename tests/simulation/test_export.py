@@ -1,0 +1,62 @@
+"""CSV trace export/import round-trips."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_matcher
+from repro.experiments import run_algorithm
+from repro.simulation.export import (
+    ASSIGNMENT_COLUMNS,
+    export_assignments,
+    export_city,
+    load_assignments,
+)
+
+
+def test_export_city_tables(tiny_platform, tmp_path):
+    paths = export_city(tiny_platform, tmp_path)
+    with paths["brokers"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == tiny_platform.num_brokers
+    assert rows[0]["education"] in ("high_school", "undergraduate", "master")
+    with paths["requests"].open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == len(tiny_platform.stream)
+    assert {row["day"] for row in rows} == {
+        str(d) for d in range(tiny_platform.num_days)
+    }
+
+
+def test_city_export_hides_ground_truth(tiny_platform, tmp_path):
+    paths = export_city(tiny_platform, tmp_path)
+    header = paths["brokers"].read_text().splitlines()[0]
+    for secret in ("capacity", "quality", "skill", "potential"):
+        assert secret not in header
+
+
+def test_assignment_roundtrip(tiny_platform, tmp_path):
+    result = run_algorithm(
+        tiny_platform,
+        make_matcher("Top-1", tiny_platform, seed=1),
+        store_assignments=True,
+    )
+    assert result.assignments  # per-pair log was kept
+    path = export_assignments(result.assignments, tmp_path / "assignments.csv")
+    requests, brokers, utilities = load_assignments(path)
+    assert requests.size == result.num_assigned
+    assert brokers.min() >= 0 and brokers.max() < tiny_platform.num_brokers
+    assert np.all(utilities > 0)
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("request_id,broker_id\n1,2\n")
+    with pytest.raises(ValueError):
+        load_assignments(path)
+
+
+def test_runner_skips_log_by_default(tiny_platform):
+    result = run_algorithm(tiny_platform, make_matcher("Top-1", tiny_platform, seed=1))
+    assert result.assignments == []

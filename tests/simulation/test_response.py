@@ -1,0 +1,66 @@
+"""Response curves: unimodality, overload decay, skill scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import ResponseCurve
+from repro.simulation.response import sample_response_curve
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        ResponseCurve(capacity=0.0, ramp=0.2, decay=1.0, sharpness=2.0)
+    with pytest.raises(ValueError):
+        ResponseCurve(capacity=10.0, ramp=1.0, decay=1.0, sharpness=2.0)
+    with pytest.raises(ValueError):
+        ResponseCurve(capacity=10.0, ramp=0.2, decay=-1.0, sharpness=2.0)
+
+
+def test_peak_at_capacity():
+    curve = ResponseCurve(capacity=20.0, ramp=0.4, decay=2.0, sharpness=2.0)
+    grid = np.arange(1, 80)
+    quality = curve.quality(grid)
+    assert grid[int(np.argmax(quality))] == 20
+    assert quality.max() == pytest.approx(1.0)
+
+
+def test_ramp_penalizes_underutilization():
+    curve = ResponseCurve(capacity=20.0, ramp=0.5, decay=2.0, sharpness=2.0)
+    assert curve.quality(1.0) < curve.quality(10.0) < curve.quality(20.0)
+    assert curve.quality(0.0) == pytest.approx(0.5)
+
+
+def test_decay_penalizes_overload():
+    curve = ResponseCurve(capacity=20.0, ramp=0.3, decay=3.0, sharpness=2.0)
+    assert curve.quality(60.0) < curve.quality(30.0) < curve.quality(20.0)
+    assert curve.quality(200.0) < 0.05
+
+
+def test_capacity_override():
+    curve = ResponseCurve(capacity=20.0, ramp=0.3, decay=3.0, sharpness=2.0)
+    # Same workload, shrunk effective capacity -> worse quality.
+    assert curve.quality(25.0, capacity=15.0) < curve.quality(25.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(0.0, 1.0), st.floats(0.0, 120.0))
+def test_quality_in_unit_interval(skill, workload):
+    rng = np.random.default_rng(11)
+    curve = sample_response_curve(rng, skill)
+    value = float(np.asarray(curve.quality(workload)))
+    assert 0.0 < value <= 1.0
+
+
+def test_capacity_grows_with_skill():
+    rng = np.random.default_rng(0)
+    low = np.mean([sample_response_curve(np.random.default_rng(i), 0.1).capacity for i in range(50)])
+    high = np.mean([sample_response_curve(np.random.default_rng(i), 0.9).capacity for i in range(50)])
+    assert high > 2 * low
+
+
+def test_capacity_scale_multiplier():
+    base = sample_response_curve(np.random.default_rng(3), 0.5, capacity_scale=1.0)
+    scaled = sample_response_curve(np.random.default_rng(3), 0.5, capacity_scale=1.5)
+    assert scaled.capacity == pytest.approx(1.5 * base.capacity)

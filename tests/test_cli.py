@@ -1,0 +1,91 @@
+"""CLI: every subcommand runs end-to-end on tiny instances."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compare_command(capsys):
+    main(
+        [
+            "compare",
+            "--brokers", "30", "--requests", "300", "--days", "2",
+            "--algorithms", "Top-3", "CTop-3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "Top-3" in out and "CTop-3" in out
+    assert "total utility" in out
+
+
+def test_sweep_command(capsys):
+    main(
+        [
+            "sweep", "num_brokers", "20", "30",
+            "--brokers", "20", "--requests", "200", "--days", "2",
+            "--algorithms", "Top-3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "Total utility" in out
+    assert "Decision time" in out
+
+
+def test_city_command(capsys):
+    main(["city", "C", "--scale", "0.008"])
+    out = capsys.readouterr().out
+    assert "City C" in out
+    assert "LACB-Opt" in out
+
+
+def test_motivate_command(capsys):
+    main(["motivate", "--brokers", "40", "--requests", "600", "--days", "2"])
+    out = capsys.readouterr().out
+    assert "sign-up rate" in out
+    assert "Welch" in out
+
+
+def test_timing_command(capsys):
+    main(["timing", "80", "160", "--batch", "4"])
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_sweep_chart_and_output(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    main(
+        [
+            "sweep", "num_brokers", "20", "30",
+            "--brokers", "20", "--requests", "200", "--days", "2",
+            "--algorithms", "Top-3",
+            "--chart", "--output", str(output),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "o=Top-3" in out  # chart legend
+    assert output.exists()
+
+
+def test_develop_command(capsys):
+    main(
+        [
+            "develop",
+            "--brokers", "30", "--requests", "300", "--days", "2",
+            "--algorithms", "Top-3", "RR",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "Matthew effect" in out
+    assert "brokers developed" in out
+
+
+def test_city_chart(capsys):
+    main(["city", "C", "--scale", "0.008", "--chart"])
+    out = capsys.readouterr().out
+    assert "Total realized utility" in out
+    assert "#" in out  # histogram bars
