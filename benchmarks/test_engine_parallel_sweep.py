@@ -1,0 +1,63 @@
+"""Orchestration throughput — serial vs. process-pool sweep execution.
+
+The Fig. 8 sweeps are embarrassingly parallel across (algorithm x
+instance) runs; the engine's spec executor exploits that.  This bench
+runs a small Fig. 8 column grid both ways, checks bit-identical results,
+and prints the wall-clock speedup so the perf trajectory starts tracking
+orchestration throughput alongside matching throughput.
+
+The recorded benchmark time is the parallel pass (the quantity future
+PRs should push down); the serial baseline and speedup are printed.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.engine import run_many
+from repro.experiments import sweep_specs
+from repro.simulation import SyntheticConfig
+
+#: A reduced Fig. 8 "vary |B|" column: 3 instances x 4 algorithms.
+GRID_BASE = SyntheticConfig(
+    num_brokers=100,
+    num_requests=2000,
+    num_days=6,
+    imbalance=0.02,
+    seed=1,
+)
+GRID_VALUES = [75, 100, 150]
+GRID_ALGORITHMS = ("Top-3", "KM", "AN", "LACB-Opt")
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def test_engine_parallel_sweep(benchmark):
+    specs = sweep_specs(
+        "num_brokers", GRID_VALUES, GRID_BASE, algorithms=GRID_ALGORITHMS, seed=7
+    )
+
+    tick = time.perf_counter()
+    serial = run_many(specs, jobs=1)
+    serial_seconds = time.perf_counter() - tick
+
+    tick = time.perf_counter()
+    parallel = benchmark.pedantic(lambda: run_many(specs, jobs=JOBS), rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - tick
+
+    # Parallelism is a wall-clock knob only: results stay bit-identical.
+    assert [run.algorithm for run in parallel] == [spec.matcher.name for spec in specs]
+    for a, b in zip(serial, parallel):
+        assert a.total_realized_utility == b.total_realized_utility
+        assert a.num_assigned == b.num_assigned
+        np.testing.assert_array_equal(a.broker_utility, b.broker_utility)
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print()
+    print(f"grid: {len(specs)} runs ({len(GRID_VALUES)} instances x {len(GRID_ALGORITHMS)} algorithms)")
+    print(f"serial (jobs=1):    {serial_seconds:.2f}s")
+    print(f"parallel (jobs={JOBS}): {parallel_seconds:.2f}s")
+    print(f"speedup: {speedup:.2f}x")
+    # Pool startup overhead can eat the gain on tiny grids / few cores;
+    # require only that parallel execution is not pathologically slower.
+    assert parallel_seconds < 2.0 * serial_seconds

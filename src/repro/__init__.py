@@ -46,6 +46,18 @@ from repro.core import (
     candidate_broker_selection,
     select_candidate_brokers,
 )
+from repro.engine import (
+    AssignmentLogger,
+    DayLoopEngine,
+    DecisionTimer,
+    MatcherSpec,
+    MetricsCollector,
+    PlatformSpec,
+    ProgressReporter,
+    RunHook,
+    RunSpec,
+    run_many,
+)
 from repro.experiments import (
     RunResult,
     compare_algorithms,
@@ -67,22 +79,31 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHM_NAMES",
     "AssignmentConfig",
+    "AssignmentLogger",
     "BanditConfig",
     "BatchKMMatcher",
     "CapacityAwareValueFunction",
     "ConstrainedTopKRecommender",
+    "DayLoopEngine",
+    "DecisionTimer",
     "LACBConfig",
     "LACBMatcher",
     "LinUCBBandit",
     "Matcher",
+    "MatcherSpec",
+    "MetricsCollector",
     "NNUCBBandit",
     "NeuralUCBAssignment",
     "PersonalizedCapacityEstimator",
+    "PlatformSpec",
+    "ProgressReporter",
     "REAL_CITY_SPECS",
     "RandomizedRecommender",
     "RealEstatePlatform",
     "RegretTracker",
+    "RunHook",
     "RunResult",
+    "RunSpec",
     "SyntheticConfig",
     "TopKRecommender",
     "ValueFunctionGuidedAssigner",
@@ -95,6 +116,7 @@ __all__ = [
     "make_matcher",
     "real_like_city",
     "run_algorithm",
+    "run_many",
     "select_candidate_brokers",
     "solve_assignment",
     "sweep",

@@ -16,6 +16,7 @@ import argparse
 import numpy as np
 
 from repro.algorithms import ALGORITHM_NAMES, make_matcher
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
 from repro.experiments import (
     ascii_chart,
     ascii_histogram,
@@ -40,6 +41,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--imbalance", type=float, default=0.015, help="sigma = |R|/|B| per batch")
     parser.add_argument("--seed", type=int, default=7, help="matcher seed")
     parser.add_argument("--instance-seed", type=int, default=1, help="city generation seed")
+    _add_jobs_argument(parser)
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the runs (1 = serial, 0 = one per CPU)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> SyntheticConfig:
@@ -53,11 +64,13 @@ def _config_from(args: argparse.Namespace) -> SyntheticConfig:
 
 
 def _cmd_compare(args: argparse.Namespace) -> None:
-    platform = generate_city(_config_from(args))
+    platform_spec = PlatformSpec.synthetic(_config_from(args))
+    specs = [
+        RunSpec(platform=platform_spec, matcher=MatcherSpec(name, seed=args.seed))
+        for name in args.algorithms
+    ]
     rows = []
-    for name in args.algorithms:
-        matcher = make_matcher(name, platform, seed=args.seed)
-        run = run_algorithm(platform, matcher)
+    for name, run in zip(args.algorithms, run_many(specs, jobs=args.jobs)):
         rows.append(
             (
                 name,
@@ -82,6 +95,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         _config_from(args),
         algorithms=tuple(args.algorithms),
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(format_series(args.factor, result.values, result.utilities, title="Total utility"))
     print()
@@ -101,7 +115,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_city(args: argparse.Namespace) -> None:
-    evaluation = evaluate_city(args.city, scale=args.scale, seed=args.seed)
+    evaluation = evaluate_city(args.city, scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(
         format_table(
             ["algorithm", "total utility", "decision s"],
@@ -230,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     city.add_argument("city", choices=("A", "B", "C"))
     city.add_argument("--scale", type=float, default=0.05)
     city.add_argument("--seed", type=int, default=7)
+    _add_jobs_argument(city)
     city.add_argument("--chart", action="store_true", help="render an ASCII histogram")
     city.set_defaults(func=_cmd_city)
 

@@ -1,0 +1,73 @@
+"""Parallel sweep executor: fan run specs out over a process pool.
+
+:func:`run_many` executes a list of :class:`~repro.engine.spec.RunSpec`
+either serially (``jobs=1``) or on a ``concurrent.futures`` process pool
+(``jobs>1``).  Results always come back in spec order, and — because every
+spec reconstructs its instance from seeds — a parallel run is bit-identical
+to the serial one, so ``jobs`` is purely a wall-clock knob.
+
+Each process keeps a one-slot platform cache keyed by the platform spec:
+sweep grids group many matchers onto the same instance, and rebuilding a
+city per run would otherwise dominate small sweeps.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Iterable, Sequence
+
+from repro.engine.hooks import RunResult
+from repro.engine.spec import PlatformSpec, RunSpec
+
+#: Process-local platform cache: (cache key, platform) of the most recent
+#: instance.  One slot keeps memory bounded while serving the common
+#: grid pattern of consecutive specs sharing a platform.
+_PLATFORM_CACHE: list[tuple[tuple, object]] = []
+
+
+def warm_platform_cache(spec: PlatformSpec, platform) -> None:
+    """Seed this process's platform cache with an already-built instance.
+
+    Callers that hold a live platform matching ``spec`` (e.g. the real-city
+    evaluation, which needs the platform for metrics anyway) can donate it
+    so a serial :func:`run_many` does not rebuild the same city.
+    """
+    _PLATFORM_CACHE[:] = [(spec.cache_key(), platform)]
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one run spec, reusing the process-local platform cache."""
+    key = spec.platform.cache_key()
+    if _PLATFORM_CACHE and _PLATFORM_CACHE[0][0] == key:
+        platform = _PLATFORM_CACHE[0][1]
+    else:
+        platform = spec.platform.build()
+        _PLATFORM_CACHE[:] = [(key, platform)]
+    return spec.run(platform=platform)
+
+
+def run_many(
+    specs: Sequence[RunSpec] | Iterable[RunSpec],
+    jobs: int = 1,
+) -> list[RunResult]:
+    """Execute run specs, serially or over a process pool.
+
+    Args:
+        specs: the runs to execute.
+        jobs: worker processes; ``1`` (the default) runs serially in this
+            process, ``0`` or negative means one worker per CPU.
+
+    Returns:
+        One :class:`~repro.engine.hooks.RunResult` per spec, in spec order
+        regardless of which worker finished first.
+    """
+    specs = list(specs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    workers = min(jobs, len(specs))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        # Executor.map preserves input order, giving deterministic results.
+        return list(pool.map(execute_spec, specs))

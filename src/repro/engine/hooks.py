@@ -1,0 +1,265 @@
+"""Lifecycle hooks: composable observers of the day-loop engine.
+
+A :class:`RunHook` receives the engine's lifecycle events.  The built-ins
+cover everything the old monolithic runner hard-coded — result
+accumulation (:class:`MetricsCollector`), decision-time accounting
+(:class:`DecisionTimer`), assignment logging (:class:`AssignmentLogger`)
+— plus a :class:`ProgressReporter` for long runs.  Custom hooks subclass
+:class:`RunHook` and override only the events they care about.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import TextIO
+
+import numpy as np
+
+from repro.core.types import Assignment, DayOutcome
+from repro.engine.loop import BatchAssignedEvent, DayEndEvent, DayStartEvent, RunContext
+
+
+@dataclass
+class RunResult:
+    """Everything measured over one algorithm's run on one instance.
+
+    Attributes:
+        algorithm: the matcher's display name.
+        total_realized_utility: sum of workload-degraded realized utility
+            over all brokers and days — the paper's "total utility" axis.
+        total_predicted_utility: sum of input utilities over matched pairs
+            (the objective of Eq. 1; useful to contrast with realized).
+        daily_utility: ``(days,)`` realized utility per day.
+        broker_utility: ``(|B|,)`` realized utility per broker over the run.
+        broker_workload: ``(|B|,)`` mean daily workload per broker.
+        broker_peak_workload: ``(|B|,)`` max daily workload per broker.
+        broker_signup: ``(|B|,)`` mean daily sign-up rate over served days.
+        decision_time: seconds spent inside the matcher (the paper's
+            running-time axis measures algorithm time, not environment time).
+        daily_decision_time: ``(days,)`` per-day matcher seconds.
+        num_assigned: total matched request count.
+        outcomes: the raw day outcomes (kept only when requested).
+        assignments: the per-pair assignment log (kept only when requested;
+            the raw material for trace export and utility-model training).
+    """
+
+    algorithm: str
+    total_realized_utility: float
+    total_predicted_utility: float
+    daily_utility: np.ndarray
+    broker_utility: np.ndarray
+    broker_workload: np.ndarray
+    broker_peak_workload: np.ndarray
+    broker_signup: np.ndarray
+    decision_time: float
+    daily_decision_time: np.ndarray
+    num_assigned: int
+    outcomes: list[DayOutcome] = field(default_factory=list)
+    assignments: list[Assignment] = field(default_factory=list)
+
+
+class RunHook:
+    """Base observer of the day-loop lifecycle; every method is a no-op.
+
+    Subclasses override the events they need.  Hooks are notified in
+    registration order; they must treat event payloads as read-only and
+    must not re-time matcher work (the engine's ``matcher_seconds`` is the
+    single source of truth for decision time).
+    """
+
+    def on_run_start(self, context: RunContext) -> None:
+        """The platform was reset and the horizon is about to start."""
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        """``matcher.begin_day`` returned for ``event.day``."""
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        """One batch assignment was produced and submitted."""
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        """``matcher.end_day`` consumed the day's realized feedback."""
+
+    def on_run_end(self, context: RunContext) -> None:
+        """The whole horizon finished."""
+
+
+class DecisionTimer(RunHook):
+    """Accumulates the engine-measured matcher seconds, per day and total.
+
+    This is the canonical decision-time accountant: it only ever sums the
+    ``matcher_seconds`` the engine measured around ``begin_day`` /
+    ``assign_batch`` / ``end_day``, so environment time (request sampling,
+    ``predicted_utilities``, outcome realization) is excluded by
+    construction.
+    """
+
+    def __init__(self) -> None:
+        self.daily_seconds: np.ndarray = np.zeros(0)
+
+    def on_run_start(self, context: RunContext) -> None:
+        self.daily_seconds = np.zeros(context.num_days)
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        self.daily_seconds[event.day] += event.matcher_seconds
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        self.daily_seconds[event.day] += event.matcher_seconds
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        self.daily_seconds[event.day] += event.matcher_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Matcher seconds summed over the horizon."""
+        return float(self.daily_seconds.sum())
+
+
+class MetricsCollector(RunHook):
+    """Reproduces the classic :class:`RunResult` as a composable observer.
+
+    Owns a :class:`DecisionTimer` internally (exposed as ``timer``) so the
+    result's decision-time fields come from the canonical accountant.
+
+    Args:
+        store_outcomes: keep the raw :class:`~repro.core.types.DayOutcome`
+            objects on the result.
+        store_assignments: keep the per-batch assignment log on the result.
+    """
+
+    def __init__(self, store_outcomes: bool = False, store_assignments: bool = False) -> None:
+        self.store_outcomes = store_outcomes
+        self.store_assignments = store_assignments
+        self.timer = DecisionTimer()
+        self._result: RunResult | None = None
+
+    def on_run_start(self, context: RunContext) -> None:
+        self.timer.on_run_start(context)
+        self._result = None
+        self._num_days = context.num_days
+        self._daily_utility = np.zeros(context.num_days)
+        self._broker_utility = np.zeros(context.num_brokers)
+        self._workload_sum = np.zeros(context.num_brokers)
+        self._workload_peak = np.zeros(context.num_brokers)
+        self._signup_sum = np.zeros(context.num_brokers)
+        self._signup_days = np.zeros(context.num_brokers)
+        self._predicted_total = 0.0
+        self._num_assigned = 0
+        self._outcomes: list[DayOutcome] = []
+        self._assignments: list[Assignment] = []
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        self.timer.on_day_start(event)
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        self.timer.on_batch_assigned(event)
+        self._predicted_total += event.assignment.predicted_utility
+        self._num_assigned += len(event.assignment)
+        if self.store_assignments:
+            self._assignments.append(event.assignment)
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        self.timer.on_day_end(event)
+        outcome = event.outcome
+        self._daily_utility[event.day] = outcome.total_realized_utility
+        self._broker_utility += outcome.realized_utility
+        self._workload_sum += outcome.workloads
+        self._workload_peak = np.maximum(self._workload_peak, outcome.workloads)
+        served = outcome.workloads > 0
+        self._signup_sum[served] += outcome.signup_rates[served]
+        self._signup_days += served
+        if self.store_outcomes:
+            self._outcomes.append(outcome)
+
+    def on_run_end(self, context: RunContext) -> None:
+        with np.errstate(invalid="ignore"):
+            broker_signup = np.where(
+                self._signup_days > 0, self._signup_sum / np.maximum(self._signup_days, 1), 0.0
+            )
+        self._result = RunResult(
+            algorithm=context.matcher.name,
+            total_realized_utility=float(self._daily_utility.sum()),
+            total_predicted_utility=float(self._predicted_total),
+            daily_utility=self._daily_utility,
+            broker_utility=self._broker_utility,
+            broker_workload=self._workload_sum / self._num_days,
+            broker_peak_workload=self._workload_peak,
+            broker_signup=broker_signup,
+            decision_time=self.timer.total_seconds,
+            daily_decision_time=self.timer.daily_seconds,
+            num_assigned=self._num_assigned,
+            outcomes=self._outcomes,
+            assignments=self._assignments,
+        )
+
+    @property
+    def result(self) -> RunResult:
+        """The finished run's result; raises if the run has not completed."""
+        if self._result is None:
+            raise RuntimeError("MetricsCollector has no result: the run has not completed")
+        return self._result
+
+
+class AssignmentLogger(RunHook):
+    """Streams every assignment (and optionally every outcome) into lists.
+
+    Unlike ``MetricsCollector(store_assignments=True)`` this keeps nothing
+    else, which makes it the light-weight choice for trace export and
+    utility-model training pipelines.
+    """
+
+    def __init__(self, store_outcomes: bool = False) -> None:
+        self.store_outcomes = store_outcomes
+        self.assignments: list[Assignment] = []
+        self.outcomes: list[DayOutcome] = []
+
+    def on_run_start(self, context: RunContext) -> None:
+        self.assignments = []
+        self.outcomes = []
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        self.assignments.append(event.assignment)
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        if self.store_outcomes:
+            self.outcomes.append(event.outcome)
+
+
+class ProgressReporter(RunHook):
+    """Prints one status line per ``every`` finished days.
+
+    Args:
+        every: report every N-th day (plus the final day).
+        stream: the text stream written to (defaults to stderr).
+    """
+
+    def __init__(self, every: int = 1, stream: TextIO | None = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.stream = stream if stream is not None else sys.stderr
+        self._name = ""
+        self._num_days = 0
+        self._matcher_seconds = 0.0
+
+    def on_run_start(self, context: RunContext) -> None:
+        self._name = context.matcher.name
+        self._num_days = context.num_days
+        self._matcher_seconds = 0.0
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        self._matcher_seconds += event.matcher_seconds
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        self._matcher_seconds += event.matcher_seconds
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        self._matcher_seconds += event.matcher_seconds
+        day = event.day + 1
+        if day % self.every == 0 or day == self._num_days:
+            print(
+                f"[{self._name}] day {day}/{self._num_days} "
+                f"utility={event.outcome.total_realized_utility:.2f} "
+                f"matcher={self._matcher_seconds:.3f}s",
+                file=self.stream,
+            )

@@ -1,0 +1,211 @@
+"""The day-loop engine: one authoritative driver of the platform↔matcher protocol.
+
+Every consumer of the reproduction — the experiment runner, the Fig. 8
+sweeps, the real-like-city evaluation, the CLI and the benchmark suite —
+ultimately drives the same loop::
+
+    platform.reset()
+    for each day:
+        contexts = platform.start_day(day)
+        matcher.begin_day(day, contexts)                       [timed]
+        for each batch:
+            request_ids = platform.batch_requests(day, batch)
+            utilities = platform.predicted_utilities(ids)      [environment]
+            assignment = matcher.assign_batch(...)             [timed]
+            platform.submit_assignment(assignment)
+        outcome = platform.finish_day()
+        matcher.end_day(day, outcome, contexts)                [timed]
+
+:class:`DayLoopEngine` owns this protocol and emits lifecycle events to
+:class:`~repro.engine.hooks.RunHook` observers, so result accumulation,
+timing, logging and progress reporting compose instead of being hard-coded
+into one runner function.
+
+Timing seam
+-----------
+
+The engine is the single place where matcher time is measured.  The clock
+runs only around the three matcher calls (``begin_day``, ``assign_batch``,
+``end_day``); environment work — request sampling, the deployed utility
+model (``predicted_utilities``), outcome realization — is never charged to
+decision time.  This reproduces the paper's running-time axis, which
+measures algorithm time, not simulator time.  Hooks receive the measured
+``matcher_seconds`` on each event and must not re-time anything themselves;
+:class:`~repro.engine.hooks.DecisionTimer` is the canonical accumulator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to keep the engine import-light
+    from repro.algorithms.base import Matcher
+    from repro.core.types import Assignment, DayOutcome
+    from repro.engine.hooks import RunHook
+    from repro.simulation.platform import RealEstatePlatform
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Immutable facts about one run, handed to hooks at start and end.
+
+    Attributes:
+        platform: the environment being driven.
+        matcher: the algorithm under test.
+        num_days: horizon length.
+        num_brokers: broker-pool size ``|B|``.
+        batches_per_day: time intervals per day.
+    """
+
+    platform: RealEstatePlatform
+    matcher: Matcher
+    num_days: int
+    num_brokers: int
+    batches_per_day: int
+
+
+@dataclass(frozen=True)
+class DayStartEvent:
+    """Emitted after ``matcher.begin_day`` returns.
+
+    Attributes:
+        day: day index.
+        contexts: the day's broker working-status contexts ``x_b``.
+        matcher_seconds: wall-clock seconds spent inside ``begin_day``.
+    """
+
+    day: int
+    contexts: np.ndarray
+    matcher_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchAssignedEvent:
+    """Emitted after one batch assignment has been submitted.
+
+    Attributes:
+        day / batch: interval coordinates.
+        request_ids: global ids of the batch's requests.
+        utilities: the ``(|R_batch|, |B|)`` predicted utilities the matcher saw.
+        assignment: the matching ``M^(i)`` the matcher produced.
+        matcher_seconds: wall-clock seconds spent inside ``assign_batch``
+            (excludes ``predicted_utilities`` and ``submit_assignment``).
+    """
+
+    day: int
+    batch: int
+    request_ids: np.ndarray
+    utilities: np.ndarray
+    assignment: Assignment
+    matcher_seconds: float
+
+
+@dataclass(frozen=True)
+class DayEndEvent:
+    """Emitted after ``matcher.end_day`` consumed the realized feedback.
+
+    Attributes:
+        day: day index.
+        outcome: the platform's realized end-of-day feedback.
+        contexts: the contexts the day started with.
+        matcher_seconds: wall-clock seconds spent inside ``end_day``.
+    """
+
+    day: int
+    outcome: DayOutcome
+    contexts: np.ndarray
+    matcher_seconds: float
+
+
+@dataclass
+class DayLoopEngine:
+    """Drives one matcher over a platform's whole horizon, emitting events.
+
+    The platform is reset first, so repeated runs on the same instance are
+    independent and face identical request streams and utility inputs
+    (bit-for-bit, given the repo's seeding discipline).
+
+    Attributes:
+        clock: the monotonic timer charged for matcher calls; injectable
+            for deterministic timing tests.
+    """
+
+    clock: Callable[[], float] = time.perf_counter
+
+    def run(
+        self,
+        platform: RealEstatePlatform,
+        matcher: Matcher,
+        hooks: Sequence[RunHook] | Iterable[RunHook] = (),
+    ) -> RunContext:
+        """Run the full day loop, notifying ``hooks`` at each lifecycle point.
+
+        Args:
+            platform: the environment (reset before the first day).
+            matcher: the algorithm under test.
+            hooks: observers notified in the given order at every event.
+
+        Returns:
+            The run's :class:`RunContext` (also handed to every hook).
+        """
+        hooks = tuple(hooks)
+        platform.reset()
+        context = RunContext(
+            platform=platform,
+            matcher=matcher,
+            num_days=platform.num_days,
+            num_brokers=platform.num_brokers,
+            batches_per_day=platform.batches_per_day,
+        )
+        for hook in hooks:
+            hook.on_run_start(context)
+
+        clock = self.clock
+        for day in range(context.num_days):
+            contexts = platform.start_day(day)
+            tick = clock()
+            matcher.begin_day(day, contexts)
+            begin_seconds = clock() - tick
+            day_event = DayStartEvent(day=day, contexts=contexts, matcher_seconds=begin_seconds)
+            for hook in hooks:
+                hook.on_day_start(day_event)
+
+            for batch in range(context.batches_per_day):
+                request_ids = platform.batch_requests(day, batch)
+                if request_ids.size == 0:
+                    continue
+                # Environment work: the deployed model's predictions are
+                # computed outside the matcher clock by construction.
+                utilities = platform.predicted_utilities(request_ids)
+                tick = clock()
+                assignment = matcher.assign_batch(day, batch, request_ids, utilities)
+                assign_seconds = clock() - tick
+                platform.submit_assignment(assignment)
+                batch_event = BatchAssignedEvent(
+                    day=day,
+                    batch=batch,
+                    request_ids=request_ids,
+                    utilities=utilities,
+                    assignment=assignment,
+                    matcher_seconds=assign_seconds,
+                )
+                for hook in hooks:
+                    hook.on_batch_assigned(batch_event)
+
+            outcome = platform.finish_day()
+            tick = clock()
+            matcher.end_day(day, outcome, contexts)
+            end_seconds = clock() - tick
+            end_event = DayEndEvent(
+                day=day, outcome=outcome, contexts=contexts, matcher_seconds=end_seconds
+            )
+            for hook in hooks:
+                hook.on_day_end(end_event)
+
+        for hook in hooks:
+            hook.on_run_end(context)
+        return context

@@ -1,0 +1,158 @@
+"""Declarative, picklable run specifications.
+
+A :class:`RunSpec` is plain data — a platform recipe plus a matcher recipe
+— from which a worker process can reconstruct the exact environment and
+algorithm and execute one run.  Because instances are fully determined by
+their configuration seeds (see ``docs/architecture.md``), a spec executed
+anywhere yields bit-identical results, which is what lets the
+:mod:`~repro.engine.executor` fan sweeps out over a process pool without
+shipping live platform objects around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.core.config import BanditConfig, LACBConfig
+from repro.simulation.datasets import (
+    REAL_CITY_SPECS,
+    SyntheticConfig,
+    generate_city,
+    real_like_city,
+)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Recipe for reconstructing a platform environment from plain data.
+
+    Use the :meth:`synthetic` / :meth:`real_city` constructors rather than
+    filling fields by hand.
+
+    Attributes:
+        kind: ``"synthetic"`` (Table III grid) or ``"real_city"`` (Table IV).
+        config: the synthetic city configuration (``kind="synthetic"``).
+        city: city name ``"A"`` / ``"B"`` / ``"C"`` (``kind="real_city"``).
+        scale: proportional shrink factor on Table IV sizes.
+        seed: master seed of the real-like city.
+        appeal_rate: client-appeal probability scale of the real-like city.
+    """
+
+    kind: str = "synthetic"
+    config: SyntheticConfig | None = None
+    city: str | None = None
+    scale: float = 0.05
+    seed: int = 0
+    appeal_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "real_city"):
+            raise ValueError(f"unknown platform kind {self.kind!r}")
+        if self.kind == "synthetic" and self.config is None:
+            raise ValueError("synthetic platform specs require a SyntheticConfig")
+        if self.kind == "real_city" and self.city not in REAL_CITY_SPECS:
+            raise ValueError(
+                f"real_city platform specs require a city in {sorted(REAL_CITY_SPECS)}"
+            )
+
+    @classmethod
+    def synthetic(cls, config: SyntheticConfig) -> PlatformSpec:
+        """Spec for a Table III synthetic city."""
+        return cls(kind="synthetic", config=config)
+
+    @classmethod
+    def real_city(
+        cls, city: str, scale: float = 0.05, seed: int = 7, appeal_rate: float = 0.0
+    ) -> PlatformSpec:
+        """Spec for a Table IV-like city (``"A"`` / ``"B"`` / ``"C"``)."""
+        return cls(kind="real_city", city=city, scale=scale, seed=seed, appeal_rate=appeal_rate)
+
+    def build(self):
+        """Materialize the platform this spec describes."""
+        if self.kind == "synthetic":
+            return generate_city(self.config)
+        platform, _spec, _config = real_like_city(
+            self.city, scale=self.scale, seed=self.seed, appeal_rate=self.appeal_rate
+        )
+        return platform
+
+    def cache_key(self) -> tuple:
+        """Hashable identity, used by the executor's platform cache."""
+        config_key = None
+        if self.config is not None:
+            config_key = tuple(getattr(self.config, f.name) for f in fields(self.config))
+        return (self.kind, config_key, self.city, self.scale, self.seed, self.appeal_rate)
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """Recipe for reconstructing a matcher via the algorithm registry.
+
+    Attributes:
+        name: one of :data:`repro.algorithms.ALGORITHM_NAMES`.
+        seed: matcher-private randomness seed.
+        empirical_capacity: CTop-K's city-level capacity (Table IV values).
+        backend: matching backend for the KM-based algorithms.
+        bandit_config: override the AN / LACB bandit settings.
+        lacb_config: override the full LACB configuration.
+    """
+
+    name: str
+    seed: int = 0
+    empirical_capacity: float | None = None
+    backend: str = "repro"
+    bandit_config: BanditConfig | None = None
+    lacb_config: LACBConfig | None = None
+
+    def build(self, platform):
+        """Materialize the matcher against a concrete platform."""
+        from repro.algorithms import make_matcher
+
+        return make_matcher(
+            self.name,
+            platform,
+            seed=self.seed,
+            empirical_capacity=self.empirical_capacity,
+            bandit_config=self.bandit_config,
+            lacb_config=self.lacb_config,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (platform × matcher) run as plain, picklable data.
+
+    Attributes:
+        platform: the environment recipe.
+        matcher: the algorithm recipe.
+        store_outcomes: keep raw day outcomes on the result.
+        store_assignments: keep the per-batch assignment log on the result.
+        tag: free-form label threaded through to grid bookkeeping (e.g. the
+            swept factor value); ignored by execution.
+    """
+
+    platform: PlatformSpec
+    matcher: MatcherSpec
+    store_outcomes: bool = False
+    store_assignments: bool = False
+    tag: str | None = None
+
+    def run(self, platform=None):
+        """Execute this spec and return its :class:`~repro.engine.hooks.RunResult`.
+
+        Args:
+            platform: an already-built platform matching ``self.platform``
+                (the engine resets it); built from the spec when omitted.
+        """
+        from repro.engine.hooks import MetricsCollector
+        from repro.engine.loop import DayLoopEngine
+
+        if platform is None:
+            platform = self.platform.build()
+        matcher = self.matcher.build(platform)
+        collector = MetricsCollector(
+            store_outcomes=self.store_outcomes, store_assignments=self.store_assignments
+        )
+        DayLoopEngine().run(platform, matcher, hooks=(collector,))
+        return collector.result

@@ -1,7 +1,8 @@
 """Experiment harness: runners, metrics, sweeps and figure reproduction.
 
-- :mod:`~repro.experiments.runner` — drives any matcher through a platform
-  and collects per-day / per-broker results with decision-time accounting;
+- :mod:`~repro.experiments.runner` — the classic ``run_algorithm`` /
+  ``compare_algorithms`` entry points, now thin shims over the
+  :mod:`repro.engine` day-loop engine (hooks, specs, parallel executor);
 - :mod:`~repro.experiments.metrics` — total utility, distributions,
   improvement fractions, Gini, overload rates (the quantities of
   Figs. 8-11 and the Sec. VII-D summary);
@@ -46,6 +47,7 @@ from repro.experiments.sweeps import (
     SweepResult,
     matching_time_profile,
     sweep,
+    sweep_specs,
 )
 
 __all__ = [
@@ -74,6 +76,7 @@ __all__ = [
     "signup_vs_workload",
     "speedup",
     "sweep",
+    "sweep_specs",
     "top_broker_curves",
     "top_broker_load_ratio",
     "utility_distribution",

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms import make_matcher
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many, warm_platform_cache
 from repro.experiments.metrics import (
     fraction_degraded,
     fraction_improved,
@@ -24,7 +24,7 @@ from repro.experiments.metrics import (
     utility_distribution,
     workload_distribution,
 )
-from repro.experiments.runner import RunResult, run_algorithm
+from repro.experiments.runner import RunResult
 from repro.simulation.datasets import real_like_city
 
 #: Algorithms of the Fig. 11 comparison, in reporting order.
@@ -82,6 +82,7 @@ def evaluate_city(
     scale: float = 0.05,
     seed: int = 7,
     algorithms: tuple[str, ...] = CITY_ALGORITHMS,
+    jobs: int = 1,
 ) -> CityEvaluation:
     """Run the Fig. 9-11 evaluation on one real-like city.
 
@@ -91,14 +92,25 @@ def evaluate_city(
         seed: matcher seed.
         algorithms: names to compare (must include "Top-3" for the
             improvement statistics when any capacity-aware name is present).
+        jobs: worker processes for the per-algorithm runs (1 = serial;
+            results are bit-identical either way).
     """
     platform, spec, _config = real_like_city(city, scale=scale, seed=seed)
-    results: dict[str, RunResult] = {}
-    for name in algorithms:
-        matcher = make_matcher(
-            name, platform, seed=seed, empirical_capacity=float(spec.empirical_capacity)
+    platform_spec = PlatformSpec.real_city(city, scale=scale, seed=seed)
+    # Donate the platform we already built (it is needed for the overload
+    # metrics below) so a serial run does not regenerate the city.
+    warm_platform_cache(platform_spec, platform)
+    run_specs = [
+        RunSpec(
+            platform=platform_spec,
+            matcher=MatcherSpec(
+                name, seed=seed, empirical_capacity=float(spec.empirical_capacity)
+            ),
         )
-        results[name] = run_algorithm(platform, matcher)
+        for name in algorithms
+    ]
+    runs = run_many(run_specs, jobs=jobs)
+    results: dict[str, RunResult] = dict(zip(algorithms, runs))
 
     evaluation = CityEvaluation(city=city, results=results)
     baseline = results.get("Top-3")

@@ -1,54 +1,22 @@
-"""Drive matchers through platform environments and collect results."""
+"""Classic run entry points, now thin shims over :mod:`repro.engine`.
+
+:func:`run_algorithm` / :func:`compare_algorithms` keep their historical
+signatures (every figure script and test drives them), but the day loop
+itself lives in :class:`~repro.engine.loop.DayLoopEngine` and the result
+accumulation in :class:`~repro.engine.hooks.MetricsCollector`.  Callers
+that need custom observation (progress lines, streaming assignment logs,
+alternative metrics) should use the engine directly with their own
+:class:`~repro.engine.hooks.RunHook`.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.algorithms.base import Matcher
-from repro.core.types import Assignment, DayOutcome
+from repro.engine.hooks import MetricsCollector, RunResult
+from repro.engine.loop import DayLoopEngine
 from repro.simulation.platform import RealEstatePlatform
 
-
-@dataclass
-class RunResult:
-    """Everything measured over one algorithm's run on one instance.
-
-    Attributes:
-        algorithm: the matcher's display name.
-        total_realized_utility: sum of workload-degraded realized utility
-            over all brokers and days — the paper's "total utility" axis.
-        total_predicted_utility: sum of input utilities over matched pairs
-            (the objective of Eq. 1; useful to contrast with realized).
-        daily_utility: ``(days,)`` realized utility per day.
-        broker_utility: ``(|B|,)`` realized utility per broker over the run.
-        broker_workload: ``(|B|,)`` mean daily workload per broker.
-        broker_peak_workload: ``(|B|,)`` max daily workload per broker.
-        broker_signup: ``(|B|,)`` mean daily sign-up rate over served days.
-        decision_time: seconds spent inside the matcher (the paper's
-            running-time axis measures algorithm time, not environment time).
-        daily_decision_time: ``(days,)`` per-day matcher seconds.
-        num_assigned: total matched request count.
-        outcomes: the raw day outcomes (kept only when requested).
-        assignments: the per-pair assignment log (kept only when requested;
-            the raw material for trace export and utility-model training).
-    """
-
-    algorithm: str
-    total_realized_utility: float
-    total_predicted_utility: float
-    daily_utility: np.ndarray
-    broker_utility: np.ndarray
-    broker_workload: np.ndarray
-    broker_peak_workload: np.ndarray
-    broker_signup: np.ndarray
-    decision_time: float
-    daily_decision_time: np.ndarray
-    num_assigned: int
-    outcomes: list[DayOutcome] = field(default_factory=list)
-    assignments: list[Assignment] = field(default_factory=list)
+__all__ = ["RunResult", "run_algorithm", "compare_algorithms"]
 
 
 def run_algorithm(
@@ -62,81 +30,26 @@ def run_algorithm(
     The platform is reset first, so repeated calls on the same instance are
     independent and face identical request streams and utility inputs.
     """
-    platform.reset()
-    num_days = platform.num_days
-    num_brokers = platform.num_brokers
-    daily_utility = np.zeros(num_days)
-    daily_time = np.zeros(num_days)
-    broker_utility = np.zeros(num_brokers)
-    workload_sum = np.zeros(num_brokers)
-    workload_peak = np.zeros(num_brokers)
-    signup_sum = np.zeros(num_brokers)
-    signup_days = np.zeros(num_brokers)
-    predicted_total = 0.0
-    num_assigned = 0
-    outcomes: list[DayOutcome] = []
-    assignments: list[Assignment] = []
-
-    for day in range(num_days):
-        contexts = platform.start_day(day)
-        tick = time.perf_counter()
-        matcher.begin_day(day, contexts)
-        daily_time[day] += time.perf_counter() - tick
-        for batch in range(platform.batches_per_day):
-            request_ids = platform.batch_requests(day, batch)
-            if request_ids.size == 0:
-                continue
-            utilities = platform.predicted_utilities(request_ids)
-            tick = time.perf_counter()
-            assignment = matcher.assign_batch(day, batch, request_ids, utilities)
-            daily_time[day] += time.perf_counter() - tick
-            platform.submit_assignment(assignment)
-            predicted_total += assignment.predicted_utility
-            num_assigned += len(assignment)
-            if store_assignments:
-                assignments.append(assignment)
-        outcome = platform.finish_day()
-        tick = time.perf_counter()
-        matcher.end_day(day, outcome, contexts)
-        daily_time[day] += time.perf_counter() - tick
-
-        daily_utility[day] = outcome.total_realized_utility
-        broker_utility += outcome.realized_utility
-        workload_sum += outcome.workloads
-        workload_peak = np.maximum(workload_peak, outcome.workloads)
-        served = outcome.workloads > 0
-        signup_sum[served] += outcome.signup_rates[served]
-        signup_days += served
-        if store_outcomes:
-            outcomes.append(outcome)
-
-    with np.errstate(invalid="ignore"):
-        broker_signup = np.where(signup_days > 0, signup_sum / np.maximum(signup_days, 1), 0.0)
-
-    return RunResult(
-        algorithm=matcher.name,
-        total_realized_utility=float(daily_utility.sum()),
-        total_predicted_utility=float(predicted_total),
-        daily_utility=daily_utility,
-        broker_utility=broker_utility,
-        broker_workload=workload_sum / num_days,
-        broker_peak_workload=workload_peak,
-        broker_signup=broker_signup,
-        decision_time=float(daily_time.sum()),
-        daily_decision_time=daily_time,
-        num_assigned=num_assigned,
-        outcomes=outcomes,
-        assignments=assignments,
+    collector = MetricsCollector(
+        store_outcomes=store_outcomes, store_assignments=store_assignments
     )
+    DayLoopEngine().run(platform, matcher, hooks=(collector,))
+    return collector.result
 
 
 def compare_algorithms(
     platform: RealEstatePlatform,
     matchers: list[Matcher],
     store_outcomes: bool = False,
+    store_assignments: bool = False,
 ) -> dict[str, RunResult]:
     """Run several matchers on the identical instance, name-keyed."""
     results: dict[str, RunResult] = {}
     for matcher in matchers:
-        results[matcher.name] = run_algorithm(platform, matcher, store_outcomes)
+        results[matcher.name] = run_algorithm(
+            platform,
+            matcher,
+            store_outcomes=store_outcomes,
+            store_assignments=store_assignments,
+        )
     return results

@@ -23,11 +23,10 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.algorithms import make_matcher
 from repro.core.selection import select_candidate_brokers
-from repro.experiments.runner import run_algorithm
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
 from repro.matching import solve_assignment
-from repro.simulation.datasets import SyntheticConfig, generate_city
+from repro.simulation.datasets import SyntheticConfig
 
 #: Factor names accepted by :func:`sweep` (the four Fig. 8 columns).
 SWEEP_FACTORS = ("num_brokers", "num_requests", "num_days", "imbalance")
@@ -53,12 +52,43 @@ class SweepResult:
     times: dict[str, list[float]] = field(default_factory=dict)
 
 
+def sweep_specs(
+    factor: str,
+    values: list,
+    base_config: SyntheticConfig,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    seed: int = 7,
+) -> list[RunSpec]:
+    """Build the declarative run grid of one Fig. 8 column.
+
+    Specs are ordered value-major (all algorithms on one instance before
+    the next value), so consecutive specs share a platform and the
+    executor's per-process instance cache stays hot.
+    """
+    if factor not in SWEEP_FACTORS:
+        raise ValueError(f"unknown factor {factor!r}; choose from {SWEEP_FACTORS}")
+    specs: list[RunSpec] = []
+    for value in values:
+        config = replace(base_config, **{factor: value})
+        platform_spec = PlatformSpec.synthetic(config)
+        for name in algorithms:
+            specs.append(
+                RunSpec(
+                    platform=platform_spec,
+                    matcher=MatcherSpec(name, seed=seed),
+                    tag=f"{factor}={value}",
+                )
+            )
+    return specs
+
+
 def sweep(
     factor: str,
     values: list,
     base_config: SyntheticConfig,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     seed: int = 7,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run one Fig. 8 column.
 
@@ -68,21 +98,19 @@ def sweep(
         base_config: the synthetic city config to perturb.
         algorithms: algorithm names to compare.
         seed: matcher seed (instance seeds come from the config).
+        jobs: worker processes for the run grid (1 = serial; results are
+            bit-identical either way, see :func:`repro.engine.run_many`).
     """
-    if factor not in SWEEP_FACTORS:
-        raise ValueError(f"unknown factor {factor!r}; choose from {SWEEP_FACTORS}")
+    specs = sweep_specs(factor, values, base_config, algorithms=algorithms, seed=seed)
+    runs = run_many(specs, jobs=jobs)
     result = SweepResult(factor=factor, values=[float(v) for v in values])
     for name in algorithms:
         result.utilities[name] = []
         result.times[name] = []
-    for value in values:
-        config = replace(base_config, **{factor: value})
-        platform = generate_city(config)
-        for name in algorithms:
-            matcher = make_matcher(name, platform, seed=seed)
-            run = run_algorithm(platform, matcher)
-            result.utilities[name].append(run.total_realized_utility)
-            result.times[name].append(run.decision_time)
+    for index, run in enumerate(runs):
+        name = algorithms[index % len(algorithms)]
+        result.utilities[name].append(run.total_realized_utility)
+        result.times[name].append(run.decision_time)
     return result
 
 

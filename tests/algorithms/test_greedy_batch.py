@@ -1,7 +1,6 @@
 """Greedy batch matcher: approximation behaviour within batches."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms import BatchKMMatcher, GreedyBatchMatcher
 

@@ -1,0 +1,71 @@
+"""Executor: ordering, worker counts, and the platform cache."""
+
+import numpy as np
+
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
+from repro.engine.executor import execute_spec, warm_platform_cache
+from repro.simulation import SyntheticConfig
+
+TINY = SyntheticConfig(num_brokers=20, num_requests=80, num_days=2, imbalance=0.1, seed=11)
+OTHER = SyntheticConfig(num_brokers=25, num_requests=100, num_days=2, imbalance=0.1, seed=12)
+
+
+def _grid():
+    return [
+        RunSpec(platform=PlatformSpec.synthetic(config), matcher=MatcherSpec(name, seed=1))
+        for config in (TINY, OTHER)
+        for name in ("Top-1", "Top-3", "KM")
+    ]
+
+
+def test_results_come_back_in_spec_order():
+    specs = _grid()
+    runs = run_many(specs, jobs=3)
+    assert [run.algorithm for run in runs] == [spec.matcher.name for spec in specs]
+    # The two instances differ, so identical algorithms must differ across
+    # the grid — proof the ordering is by spec, not by completion time.
+    assert runs[0].total_realized_utility != runs[3].total_realized_utility
+
+
+def test_parallel_equals_serial_on_mixed_grid():
+    specs = _grid()
+    serial = run_many(specs, jobs=1)
+    parallel = run_many(specs, jobs=2)
+    for a, b in zip(serial, parallel):
+        assert a.total_realized_utility == b.total_realized_utility
+        np.testing.assert_array_equal(a.broker_workload, b.broker_workload)
+
+
+def test_jobs_zero_means_all_cpus():
+    specs = _grid()[:2]
+    runs = run_many(specs, jobs=0)
+    assert len(runs) == 2
+    assert runs[0].algorithm == "Top-1"
+
+
+def test_empty_and_single_spec_lists():
+    assert run_many([], jobs=4) == []
+    (only,) = run_many(_grid()[:1], jobs=4)
+    assert only.algorithm == "Top-1"
+
+
+def test_warm_platform_cache_reuses_donated_platform(monkeypatch):
+    platform_spec = PlatformSpec.synthetic(TINY)
+    platform = platform_spec.build()
+    warm_platform_cache(platform_spec, platform)
+    builds = []
+    original_build = PlatformSpec.build
+
+    def counting_build(self):
+        builds.append(self.cache_key())
+        return original_build(self)
+
+    monkeypatch.setattr(PlatformSpec, "build", counting_build)
+    spec = RunSpec(platform=platform_spec, matcher=MatcherSpec("Top-1", seed=1))
+    result = execute_spec(spec)
+    assert builds == []  # the donated platform was used, nothing rebuilt
+    assert result.num_assigned == TINY.num_requests
+    # A different platform spec evicts the slot and triggers a real build.
+    other = RunSpec(platform=PlatformSpec.synthetic(OTHER), matcher=MatcherSpec("Top-1", seed=1))
+    execute_spec(other)
+    assert len(builds) == 1

@@ -1,0 +1,107 @@
+"""Engine lifecycle: event ordering, payloads and the injectable clock."""
+
+import numpy as np
+
+from repro.algorithms import make_matcher
+from repro.engine import DayLoopEngine, RunHook
+from repro.simulation import SyntheticConfig, generate_city
+
+
+class RecordingHook(RunHook):
+    """Appends (event name, coordinates) tuples in notification order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, context):
+        self.events.append(("run_start", context.num_days))
+
+    def on_day_start(self, event):
+        self.events.append(("day_start", event.day))
+
+    def on_batch_assigned(self, event):
+        self.events.append(("batch", event.day, event.batch))
+
+    def on_day_end(self, event):
+        self.events.append(("day_end", event.day))
+
+    def on_run_end(self, context):
+        self.events.append(("run_end", context.num_days))
+
+
+def _tiny_platform():
+    return generate_city(
+        SyntheticConfig(num_brokers=20, num_requests=80, num_days=2, imbalance=0.1, seed=11)
+    )
+
+
+def test_lifecycle_event_order():
+    platform = _tiny_platform()
+    hook = RecordingHook()
+    context = DayLoopEngine().run(platform, make_matcher("Top-1", platform, seed=1), hooks=[hook])
+
+    assert hook.events[0] == ("run_start", platform.num_days)
+    assert hook.events[-1] == ("run_end", platform.num_days)
+    assert context.num_brokers == platform.num_brokers
+    # Per day: one day_start, then that day's batches, then one day_end.
+    cursor = 1
+    for day in range(platform.num_days):
+        assert hook.events[cursor] == ("day_start", day)
+        cursor += 1
+        while hook.events[cursor][0] == "batch":
+            assert hook.events[cursor][1] == day
+            cursor += 1
+        assert hook.events[cursor] == ("day_end", day)
+        cursor += 1
+    assert cursor == len(hook.events) - 1
+    batch_events = [event for event in hook.events if event[0] == "batch"]
+    assert len(batch_events) > 0
+    # Batches within a day are visited in order.
+    for earlier, later in zip(batch_events, batch_events[1:]):
+        if earlier[1] == later[1]:
+            assert earlier[2] < later[2]
+
+
+def test_batch_event_payload_consistency():
+    platform = _tiny_platform()
+
+    class PayloadHook(RunHook):
+        def on_batch_assigned(self, event):
+            assert event.utilities.shape == (event.request_ids.size, platform.num_brokers)
+            assert len(event.assignment) <= event.request_ids.size
+            assert event.matcher_seconds >= 0.0
+
+        def on_day_end(self, event):
+            assert event.outcome.day == event.day
+            assert event.contexts.shape[0] == platform.num_brokers
+
+    DayLoopEngine().run(platform, make_matcher("Top-3", platform, seed=1), hooks=[PayloadHook()])
+
+
+def test_injectable_clock_yields_deterministic_seconds():
+    platform = _tiny_platform()
+    ticks = iter(np.arange(0.0, 10_000.0, 1.0))
+    engine = DayLoopEngine(clock=lambda: float(next(ticks)))
+
+    seconds = []
+
+    class ClockHook(RunHook):
+        def on_day_start(self, event):
+            seconds.append(event.matcher_seconds)
+
+        def on_batch_assigned(self, event):
+            seconds.append(event.matcher_seconds)
+
+        def on_day_end(self, event):
+            seconds.append(event.matcher_seconds)
+
+    engine.run(platform, make_matcher("Top-1", platform, seed=1), hooks=[ClockHook()])
+    # Every timed section spans exactly one fake tick.
+    assert seconds and all(value == 1.0 for value in seconds)
+
+
+def test_multiple_hooks_notified_in_order():
+    platform = _tiny_platform()
+    first, second = RecordingHook(), RecordingHook()
+    DayLoopEngine().run(platform, make_matcher("Top-1", platform, seed=1), hooks=[first, second])
+    assert first.events == second.events

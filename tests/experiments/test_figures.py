@@ -1,6 +1,5 @@
 """ASCII figure rendering."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import ascii_chart, ascii_histogram

@@ -40,6 +40,24 @@ def test_store_outcomes(tiny_platform):
     assert lean.outcomes == []
 
 
+def test_compare_algorithms_passes_through_stored_logs(tiny_platform):
+    results = compare_algorithms(
+        tiny_platform,
+        [make_matcher("Top-1", tiny_platform, seed=1), make_matcher("KM", tiny_platform, seed=1)],
+        store_outcomes=True,
+        store_assignments=True,
+    )
+    for result in results.values():
+        assert len(result.outcomes) == tiny_platform.num_days
+        assert result.assignments, result.algorithm
+        assert sum(len(a) for a in result.assignments) == result.num_assigned
+    lean = compare_algorithms(
+        tiny_platform, [make_matcher("Top-1", tiny_platform, seed=1)]
+    )
+    assert lean["Top-1"].assignments == []
+    assert lean["Top-1"].outcomes == []
+
+
 def test_compare_runs_on_identical_instance(tiny_platform):
     results = compare_algorithms(
         tiny_platform,

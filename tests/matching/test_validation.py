@@ -1,6 +1,5 @@
 """Matching validation helpers."""
 
-import numpy as np
 import pytest
 
 from repro.matching import MatchResult, assert_valid_matching, is_valid_matching

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simulation import BrokerProfile, generate_profile
+from repro.simulation import generate_profile
 from repro.simulation.attributes import EDUCATION_LEVELS, JOB_TITLES, RECENCY_WINDOWS
 
 

@@ -1,7 +1,6 @@
 """Ground-truth affinity and the deployed utility predictor."""
 
 import numpy as np
-import pytest
 
 from repro.simulation.utility import (
     ground_truth_affinity,

@@ -36,6 +36,20 @@ def test_sweep_command(capsys):
     assert "Decision time" in out
 
 
+def test_sweep_command_parallel_jobs(capsys):
+    main(
+        [
+            "sweep", "num_brokers", "20", "30",
+            "--brokers", "20", "--requests", "200", "--days", "2",
+            "--algorithms", "Top-3", "KM",
+            "--jobs", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "Total utility" in out
+    assert "KM" in out
+
+
 def test_city_command(capsys):
     main(["city", "C", "--scale", "0.008"])
     out = capsys.readouterr().out
