@@ -1,0 +1,111 @@
+"""Telemetry overhead — engine wall-clock with observability off vs. on.
+
+The :mod:`repro.obs` instrumentation sits on the hottest paths (batch
+assignment, KM solve, CBS pruning, bandit updates), so its cost is a
+standing perf budget: **telemetry on must stay within 5% of telemetry
+off**, and telemetry off must be free (a single global read per call
+site).  This bench runs the same LACB-Opt day loop both ways, checks the
+results are bit-identical, enforces the budget on min-of-repeats
+decision time, and emits ``BENCH_obs_overhead.json`` so the trajectory
+of that budget is tracked across PRs.
+
+Spans are recorded at batch/day altitude (never per request-broker
+pair) precisely so this bound holds; a regression here usually means an
+instrumentation point slid into a per-pair loop.
+"""
+
+import json
+import os
+import statistics
+
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec
+from repro.engine.executor import execute_spec, execute_spec_observed
+from repro.obs import telemetry as obs
+from repro.simulation import SyntheticConfig
+
+#: Near the CLI's default city scale (|B|=200): per-batch KM work must
+#: dominate, as it does in real runs — tiny instances overstate the
+#: relative cost of the fixed per-batch instrumentation.
+CONFIG = SyntheticConfig(
+    num_brokers=200,
+    num_requests=5000,
+    num_days=6,
+    imbalance=0.02,
+    seed=5,
+)
+REPEATS = 5
+OVERHEAD_BUDGET = 1.05
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs_overhead.json")
+
+
+def _spec() -> RunSpec:
+    return RunSpec(
+        platform=PlatformSpec.synthetic(CONFIG), matcher=MatcherSpec("LACB-Opt", seed=7)
+    )
+
+
+def test_obs_overhead(benchmark):
+    obs.disable()
+    off_runs, on_runs = [], []
+    off_times, on_times = [], []
+    span_count = metric_count = 0
+    # Interleave the two modes so drift (thermal, cache) hits both equally.
+    for _ in range(REPEATS):
+        off = execute_spec(_spec())
+        off_runs.append(off)
+        off_times.append(off.decision_time)
+
+        on, payload = execute_spec_observed(_spec())
+        on_runs.append(on)
+        on_times.append(on.decision_time)
+        span_count = len(payload["spans"])
+        metric_count = len(payload["registry"]["metrics"])
+
+    # One recorded pass for the pytest-benchmark tables: telemetry on,
+    # the quantity whose regression this bench exists to catch.
+    benchmark.pedantic(lambda: execute_spec_observed(_spec()), rounds=1, iterations=1)
+
+    # Observability must never change results.
+    for off, on in zip(off_runs, on_runs):
+        assert off.total_realized_utility == on.total_realized_utility
+        assert off.num_assigned == on.num_assigned
+
+    off_best, on_best = min(off_times), min(on_times)
+    # Each off/on pair runs back-to-back, so the per-pair ratio cancels
+    # machine drift; the median then discards disturbed pairs entirely.
+    pair_ratios = [on / off for off, on in zip(off_times, on_times)]
+    overhead = statistics.median(pair_ratios)
+    payload = {
+        "bench": "obs_overhead",
+        "instance": {
+            "num_brokers": CONFIG.num_brokers,
+            "num_requests": CONFIG.num_requests,
+            "num_days": CONFIG.num_days,
+            "imbalance": CONFIG.imbalance,
+            "algorithm": "LACB-Opt",
+        },
+        "repeats": REPEATS,
+        "telemetry_off_seconds": off_times,
+        "telemetry_on_seconds": on_times,
+        "telemetry_off_best": off_best,
+        "telemetry_on_best": on_best,
+        "pair_ratios": pair_ratios,
+        "overhead_ratio": overhead,
+        "budget_ratio": OVERHEAD_BUDGET,
+        "spans_recorded": span_count,
+        "metrics_recorded": metric_count,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    print()
+    print(f"decision time, telemetry off: {off_best:.3f}s (best of {REPEATS})")
+    print(f"decision time, telemetry on:  {on_best:.3f}s ({span_count} spans, "
+          f"{metric_count} metric series)")
+    print(f"overhead: {(overhead - 1) * 100:+.2f}% (budget +{(OVERHEAD_BUDGET - 1) * 100:.0f}%)")
+    assert span_count > 0 and metric_count > 0
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"telemetry overhead {(overhead - 1) * 100:.2f}% exceeds the "
+        f"{(OVERHEAD_BUDGET - 1) * 100:.0f}% budget"
+    )

@@ -22,6 +22,7 @@ from repro.bandits import NNUCBBandit, PersonalizedCapacityEstimator
 from repro.core.config import LACBConfig
 from repro.core.types import Assignment, DayOutcome
 from repro.core.vfga import ValueFunctionGuidedAssigner
+from repro.obs import telemetry as obs
 
 
 class LACBMatcher(Matcher):
@@ -65,7 +66,8 @@ class LACBMatcher(Matcher):
     def begin_day(self, day: int, contexts: np.ndarray) -> None:
         """Alg. 2 lines 1-2: estimate every broker's capacity for the day."""
         self._day = day
-        capacities = self.estimator.estimate_batch(contexts)
+        with obs.span("bandit.predict"):
+            capacities = self.estimator.estimate_batch(contexts)
         self.assigner.begin_day(capacities)
 
     def assign_batch(
@@ -91,20 +93,26 @@ class LACBMatcher(Matcher):
         Personalization starts after ``warmup_days`` so broker-specific
         heads are fine-tuned only once a few private triples exist.
         """
-        self.assigner.end_day()
+        with obs.span("vfga.end_day"):
+            self.assigner.end_day()
         served = np.nonzero(outcome.workloads > 0)[0]
         personalize_now = (
             self.config.personalize and day >= self.config.warmup_days
         )
-        for broker_id in served:
-            routing_id = int(broker_id) if personalize_now or not self.config.personalize else None
-            self.estimator.update(
-                contexts[broker_id],
-                float(outcome.workloads[broker_id]),
-                float(outcome.signup_rates[broker_id]),
-                routing_id,
-                capacity=float(self.assigner.capacities[broker_id]),
-            )
+        with obs.span("bandit.update"):
+            for broker_id in served:
+                routing_id = (
+                    int(broker_id)
+                    if personalize_now or not self.config.personalize
+                    else None
+                )
+                self.estimator.update(
+                    contexts[broker_id],
+                    float(outcome.workloads[broker_id]),
+                    float(outcome.signup_rates[broker_id]),
+                    routing_id,
+                    capacity=float(self.assigner.capacities[broker_id]),
+                )
 
     # ------------------------------------------------------------------
     # Introspection

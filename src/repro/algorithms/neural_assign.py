@@ -15,6 +15,7 @@ from repro.bandits import NNUCBBandit
 from repro.core.config import AssignmentConfig, BanditConfig
 from repro.core.types import Assignment, DayOutcome
 from repro.core.vfga import ValueFunctionGuidedAssigner
+from repro.obs import telemetry as obs
 
 
 class NeuralUCBAssignment(Matcher):
@@ -53,7 +54,8 @@ class NeuralUCBAssignment(Matcher):
 
     def begin_day(self, day: int, contexts: np.ndarray) -> None:
         """Estimate every broker's capacity with the shared bandit."""
-        capacities = self.bandit.estimate_batch(contexts)
+        with obs.span("bandit.predict"):
+            capacities = self.bandit.estimate_batch(contexts)
         self.assigner.begin_day(capacities)
 
     def assign_batch(
@@ -72,13 +74,15 @@ class NeuralUCBAssignment(Matcher):
         Same reward convention as LACB (Sec. V-B): the broker's realized
         daily sign-up rate.
         """
-        self.assigner.end_day()
+        with obs.span("vfga.end_day"):
+            self.assigner.end_day()
         served = np.nonzero(outcome.workloads > 0)[0]
-        for broker_id in served:
-            self.bandit.update(
-                contexts[broker_id],
-                float(outcome.workloads[broker_id]),
-                float(outcome.signup_rates[broker_id]),
-                int(broker_id),
-                capacity=float(self.assigner.capacities[broker_id]),
-            )
+        with obs.span("bandit.update"):
+            for broker_id in served:
+                self.bandit.update(
+                    contexts[broker_id],
+                    float(outcome.workloads[broker_id]),
+                    float(outcome.signup_rates[broker_id]),
+                    int(broker_id),
+                    capacity=float(self.assigner.capacities[broker_id]),
+                )

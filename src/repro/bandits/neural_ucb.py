@@ -28,6 +28,7 @@ from repro.bandits.base import CapacityEstimator
 from repro.core.config import BanditConfig
 from repro.core.types import TrialTriple
 from repro.nn import MLP, Adam
+from repro.obs import telemetry as obs
 
 
 class NNUCBBandit(CapacityEstimator):
@@ -184,6 +185,7 @@ class NNUCBBandit(CapacityEstimator):
             TrialTriple(np.asarray(context, dtype=float), arm_input, float(reward))
         )
         self.num_updates += 1
+        obs.add("bandit.updates")
         if len(self._buffer) >= self.config.batch_size:
             self._train_on_buffer()
 
@@ -194,6 +196,12 @@ class NNUCBBandit(CapacityEstimator):
         the network trains on a random sample of that history — retraining
         only on the 16 newest samples would forget everything earlier.
         """
+        steps_before = self.num_train_steps
+        with obs.span("bandit.train"):
+            self._train_on_buffer_inner()
+        obs.add("bandit.train_steps", self.num_train_steps - steps_before)
+
+    def _train_on_buffer_inner(self) -> None:
         self._replay.extend(self._buffer)
         self._buffer.clear()
         if len(self._replay) > self.config.replay_size:

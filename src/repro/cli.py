@@ -6,12 +6,19 @@ Subcommands:
 - ``sweep``    — one Fig. 8 column (vary a Table III factor);
 - ``city``     — the Fig. 9-11 evaluation on a real-like city;
 - ``motivate`` — the Sec. II measurement study (Figs. 2-4);
-- ``timing``   — the per-batch matching-cost profile (the CBS speedup).
+- ``timing``   — the per-batch matching-cost profile (the CBS speedup);
+- ``report``   — render the telemetry a ``--telemetry DIR`` run exported.
+
+Output discipline: result tables go to **stdout**; everything diagnostic
+(progress, destinations, warnings) goes through :mod:`repro.obs.logging`
+to **stderr**, so ``repro compare | tee results.txt`` captures exactly the
+tables.  ``-v`` raises verbosity to DEBUG, ``-q`` lowers it to WARNING.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 
 import numpy as np
 
@@ -31,7 +38,12 @@ from repro.experiments import (
     top_broker_load_ratio,
     workload_concentration,
 )
+from repro.obs import telemetry as obs
+from repro.obs.logging import get_logger, setup_cli_logging
+from repro.obs.manifest import build_manifest, repro_version
 from repro.simulation import SyntheticConfig, generate_city
+
+log = get_logger("cli")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +62,16 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes for the runs (1 = serial, 0 = one per CPU)",
+    )
+
+
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="collect metrics/spans during the run and export them to DIR "
+        "(view with `repro report DIR`)",
     )
 
 
@@ -111,7 +133,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         )
     if args.output:
         save_sweep_result(result, args.output)
-        print(f"\nsweep saved to {args.output}")
+        log.info("sweep saved to %s", args.output)
 
 
 def _cmd_city(args: argparse.Namespace) -> None:
@@ -213,11 +235,33 @@ def _cmd_timing(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.report import render_report
+
+    print(render_report(args.dir))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-lacb",
         description="Capacity-aware broker matching (ICDE 2023) reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro_version()}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics on stderr (DEBUG level)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only warnings and errors on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -226,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--algorithms", nargs="+", default=list(ALGORITHM_NAMES), choices=ALGORITHM_NAMES
     )
+    _add_telemetry_argument(compare)
     compare.set_defaults(func=_cmd_compare)
 
     sweep_cmd = sub.add_parser("sweep", help="one Fig. 8 column")
@@ -238,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument("--chart", action="store_true", help="render an ASCII chart")
     sweep_cmd.add_argument("--output", help="save the sweep as JSON")
+    _add_telemetry_argument(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     city = sub.add_parser("city", help="Fig. 9-11 evaluation on a real-like city")
@@ -246,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     city.add_argument("--seed", type=int, default=7)
     _add_jobs_argument(city)
     city.add_argument("--chart", action="store_true", help="render an ASCII histogram")
+    _add_telemetry_argument(city)
     city.set_defaults(func=_cmd_city)
 
     motivate = sub.add_parser("motivate", help="the Sec. II measurement study")
@@ -268,17 +315,51 @@ def build_parser() -> argparse.ArgumentParser:
     timing.add_argument("--seed", type=int, default=0)
     timing.set_defaults(func=_cmd_timing)
 
+    report = sub.add_parser(
+        "report", help="render the telemetry exported by a --telemetry run"
+    )
+    report.add_argument("dir", help="telemetry directory written by --telemetry")
+    report.set_defaults(func=_cmd_report)
+
     return parser
+
+
+def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
+    """Run one command under live telemetry and export the artifacts."""
+    telemetry = obs.enable()
+    start = time.perf_counter()
+    try:
+        args.func(args)
+    finally:
+        wall = time.perf_counter() - start
+        obs.disable()
+    manifest = build_manifest(
+        command=args.command,
+        args={
+            key: value
+            for key, value in sorted(vars(args).items())
+            if key != "func" and not callable(value)
+        },
+        wall_seconds=wall,
+    )
+    paths = telemetry.export(directory, manifest=manifest)
+    log.info("telemetry exported to %s (%d files)", directory, len(paths))
+    log.info("render it with: repro-lacb report %s", directory)
 
 
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_cli_logging(-1 if args.quiet else args.verbose)
     # The sweep factor values arrive as floats; integer factors need casting.
     if getattr(args, "command", None) == "sweep" and args.factor != "imbalance":
         args.values = [int(v) for v in args.values]
-    args.func(args)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir:
+        _run_with_telemetry(args, telemetry_dir)
+    else:
+        args.func(args)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from repro.core.selection import select_candidate_brokers
 from repro.core.types import AssignedPair, Assignment
 from repro.core.value_function import CapacityAwareValueFunction
 from repro.matching import solve_assignment
+from repro.obs import telemetry as obs
+from repro.obs.metrics import RATIO_BOUNDARIES
 
 #: Tiny positive utility keeping refined edges matchable: Eq. 15 may push a
 #: low-utility edge negative, but an available broker is still preferable to
@@ -135,6 +137,16 @@ class ValueFunctionGuidedAssigner:
             The batch assignment ``M^(i)``; workloads and the value function
             are updated as a side effect.
         """
+        with obs.span("vfga.assign_batch"):
+            return self._assign_batch(day, batch, request_ids, utilities)
+
+    def _assign_batch(
+        self,
+        day: int,
+        batch: int,
+        request_ids: np.ndarray,
+        utilities: np.ndarray,
+    ) -> Assignment:
         request_ids = np.asarray(request_ids, dtype=int)
         utilities = np.asarray(utilities, dtype=float)
         if utilities.shape != (request_ids.size, self.num_brokers):
@@ -152,15 +164,23 @@ class ValueFunctionGuidedAssigner:
 
         candidate_utilities = utilities[:, available]
         if self.config.use_cbs and available.size > request_ids.size:
-            local = select_candidate_brokers(
-                candidate_utilities, int(request_ids.size), self.rng
-            )
+            before = available.size
+            with obs.span("matching.cbs_prune"):
+                local = select_candidate_brokers(
+                    candidate_utilities, int(request_ids.size), self.rng
+                )
             available = available[local]
             candidate_utilities = candidate_utilities[:, local]
+            pruned_ratio = 1.0 - available.size / before
+            obs.set_gauge("cbs.pruned_broker_ratio", pruned_ratio)
+            obs.observe(
+                "cbs.pruned_broker_ratio_hist", pruned_ratio, boundaries=RATIO_BOUNDARIES
+            )
 
         time_fraction = self._time_fraction(batch)
         next_fraction = self._time_fraction(batch + 1)
-        refined = self._refine(candidate_utilities, available, time_fraction)
+        with obs.span("vfga.refine"):
+            refined = self._refine(candidate_utilities, available, time_fraction)
         match = solve_assignment(
             refined,
             maximize=True,
@@ -168,18 +188,21 @@ class ValueFunctionGuidedAssigner:
             pad_square=self.config.matching_pad_square,
         )
 
-        for row, col in match.pairs:
-            broker = int(available[col])
-            raw_utility = float(utilities[row, broker])
-            residual = float(self.capacities[broker] - self.workloads[broker])
-            self.workloads[broker] += 1
-            if self.config.use_value_function:
-                self.value_function.td_update(
-                    time_fraction, residual, raw_utility, next_fraction, residual - 1.0
+        with obs.span("vfga.td_update"):
+            for row, col in match.pairs:
+                broker = int(available[col])
+                raw_utility = float(utilities[row, broker])
+                residual = float(self.capacities[broker] - self.workloads[broker])
+                self.workloads[broker] += 1
+                if self.config.use_value_function:
+                    self.value_function.td_update(
+                        time_fraction, residual, raw_utility, next_fraction, residual - 1.0
+                    )
+                assignment.pairs.append(
+                    AssignedPair(int(request_ids[row]), broker, raw_utility)
                 )
-            assignment.pairs.append(
-                AssignedPair(int(request_ids[row]), broker, raw_utility)
-            )
+        if self.config.use_value_function:
+            obs.add("vfga.td_updates", len(match.pairs))
         return assignment
 
     #: Days of history required before the capacity-hit frequency ``f_b``

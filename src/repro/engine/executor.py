@@ -6,6 +6,15 @@ either serially (``jobs=1``) or on a ``concurrent.futures`` process pool
 spec reconstructs its instance from seeds — a parallel run is bit-identical
 to the serial one, so ``jobs`` is purely a wall-clock knob.
 
+Telemetry crosses the process boundary the same way: when the parent has
+:mod:`repro.obs` telemetry active (or passes one explicitly), every spec —
+serial or pooled — runs against its *own* fresh
+:class:`~repro.obs.telemetry.Telemetry`, and the serialized payloads
+(registry dump + span records) are merged into the parent's telemetry in
+spec order.  Counter and histogram merges are exact, so the merged metrics
+of a ``jobs=2`` run equal the ``jobs=1`` run bit-for-bit; worker spans land
+in their own Chrome-trace lane.
+
 Each process keeps a one-slot platform cache keyed by the platform spec:
 sweep grids group many matchers onto the same instance, and rebuilding a
 city per run would otherwise dominate small sweeps.
@@ -19,6 +28,7 @@ from typing import Iterable, Sequence
 
 from repro.engine.hooks import RunResult
 from repro.engine.spec import PlatformSpec, RunSpec
+from repro.obs.telemetry import Telemetry, current as current_telemetry, use as use_telemetry
 
 #: Process-local platform cache: (cache key, platform) of the most recent
 #: instance.  One slot keeps memory bounded while serving the common
@@ -36,20 +46,38 @@ def warm_platform_cache(spec: PlatformSpec, platform) -> None:
     _PLATFORM_CACHE[:] = [(spec.cache_key(), platform)]
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Execute one run spec, reusing the process-local platform cache."""
+def _cached_platform(spec: RunSpec):
     key = spec.platform.cache_key()
     if _PLATFORM_CACHE and _PLATFORM_CACHE[0][0] == key:
-        platform = _PLATFORM_CACHE[0][1]
-    else:
-        platform = spec.platform.build()
-        _PLATFORM_CACHE[:] = [(key, platform)]
-    return spec.run(platform=platform)
+        return _PLATFORM_CACHE[0][1]
+    platform = spec.platform.build()
+    _PLATFORM_CACHE[:] = [(key, platform)]
+    return platform
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one run spec, reusing the process-local platform cache."""
+    return spec.run(platform=_cached_platform(spec))
+
+
+def execute_spec_observed(spec: RunSpec) -> tuple[RunResult, dict]:
+    """Execute one spec under a fresh telemetry; return (result, payload).
+
+    The payload (:meth:`~repro.obs.telemetry.Telemetry.payload`) is plain
+    data, safe to ship from a pool worker back to the parent for merging.
+    Running each spec against its own registry — even serially — is what
+    makes the parent's merge order identical under any ``jobs`` value.
+    """
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        result = spec.run(platform=_cached_platform(spec))
+    return result, telemetry.payload()
 
 
 def run_many(
     specs: Sequence[RunSpec] | Iterable[RunSpec],
     jobs: int = 1,
+    telemetry: Telemetry | None = None,
 ) -> list[RunResult]:
     """Execute run specs, serially or over a process pool.
 
@@ -57,17 +85,35 @@ def run_many(
         specs: the runs to execute.
         jobs: worker processes; ``1`` (the default) runs serially in this
             process, ``0`` or negative means one worker per CPU.
+        telemetry: merge every run's metrics and spans into this telemetry
+            object.  Defaults to the process's active telemetry (so a CLI
+            ``--telemetry`` run observes sweeps with no extra plumbing);
+            pass nothing and keep telemetry disabled to skip collection.
 
     Returns:
         One :class:`~repro.engine.hooks.RunResult` per spec, in spec order
         regardless of which worker finished first.
     """
     specs = list(specs)
+    if telemetry is None:
+        telemetry = current_telemetry()
     if jobs <= 0:
         jobs = os.cpu_count() or 1
+
     if jobs == 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
-    workers = min(jobs, len(specs))
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        # Executor.map preserves input order, giving deterministic results.
-        return list(pool.map(execute_spec, specs))
+        if telemetry is None:
+            return [execute_spec(spec) for spec in specs]
+        observed = [execute_spec_observed(spec) for spec in specs]
+    else:
+        workers = min(jobs, len(specs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves input order, giving deterministic results.
+            if telemetry is None:
+                return list(pool.map(execute_spec, specs))
+            observed = list(pool.map(execute_spec_observed, specs))
+
+    # Merge in spec order: counter/histogram folds are exact, so the merged
+    # registry is bit-identical for any jobs value.
+    for _result, payload in observed:
+        telemetry.merge_payload(payload)
+    return [result for result, _payload in observed]

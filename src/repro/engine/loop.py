@@ -19,7 +19,10 @@ ultimately drives the same loop::
 :class:`DayLoopEngine` owns this protocol and emits lifecycle events to
 :class:`~repro.engine.hooks.RunHook` observers, so result accumulation,
 timing, logging and progress reporting compose instead of being hard-coded
-into one runner function.
+into one runner function.  While :mod:`repro.obs` telemetry is active
+(:func:`repro.obs.telemetry.enable`), the engine additionally attaches a
+:class:`~repro.obs.hook.TelemetryHook` so metrics and spans ride along with
+every run without caller wiring.
 
 Timing seam
 -----------
@@ -153,6 +156,7 @@ class DayLoopEngine:
             The run's :class:`RunContext` (also handed to every hook).
         """
         hooks = tuple(hooks)
+        hooks += _telemetry_hooks(hooks)
         platform.reset()
         context = RunContext(
             platform=platform,
@@ -209,3 +213,21 @@ class DayLoopEngine:
         for hook in hooks:
             hook.on_run_end(context)
         return context
+
+
+def _telemetry_hooks(hooks: tuple) -> tuple:
+    """The auto-attached telemetry hook, if telemetry is on for this process.
+
+    Imported lazily: :mod:`repro.obs.hook` depends on this module's event
+    types, so a top-level import would be circular.  With telemetry off
+    (the default) the cost is one ``sys.modules`` lookup per run.
+    """
+    from repro.obs.hook import TelemetryHook
+    from repro.obs.telemetry import current
+
+    telemetry = current()
+    if telemetry is None:
+        return ()
+    if any(isinstance(hook, TelemetryHook) for hook in hooks):
+        return ()
+    return (TelemetryHook(telemetry),)

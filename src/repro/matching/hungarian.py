@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.matching.bipartite import MatchResult
+from repro.obs import telemetry as obs
 
 _BACKENDS = ("repro", "scipy", "auction")
 
@@ -144,6 +145,14 @@ def solve_assignment(
     weights = np.asarray(weights, dtype=float)
     if weights.ndim != 2:
         raise ValueError(f"expected a 2-D weight matrix, got shape {weights.shape}")
+    with obs.span("matching.solve", backend=backend):
+        return _solve_assignment(weights, maximize, backend, pad_square)
+
+
+def _solve_assignment(
+    weights: np.ndarray, maximize: bool, backend: str, pad_square: bool
+) -> MatchResult:
+    """The actual solve behind :func:`solve_assignment` (validated inputs)."""
     if backend == "auction":
         if not maximize:
             raise ValueError("the auction backend only supports maximization")

@@ -1,0 +1,65 @@
+"""Observability subsystem: metrics, spans, manifests, exporters.
+
+Five layers, each usable on its own:
+
+- :mod:`~repro.obs.metrics` — zero-dependency counters / gauges /
+  histograms / timers in a :class:`MetricsRegistry` with exact cross-process
+  merge and a Prometheus text exporter;
+- :mod:`~repro.obs.tracing` — :class:`Tracer` span records with JSONL and
+  Chrome ``trace_event`` (Perfetto-loadable) export;
+- :mod:`~repro.obs.telemetry` — the process-wide switchboard (off by
+  default): :func:`enable` / :func:`disable` / :func:`use`, plus the no-op
+  fast-path helpers (:func:`span`, :func:`add`, ...) the hot paths call;
+- :mod:`~repro.obs.hook` — :class:`TelemetryHook`, bridging
+  :mod:`repro.engine` lifecycle events into metrics and spans (attached
+  automatically by the engine while telemetry is active);
+- :mod:`~repro.obs.manifest` — run manifests (spec, seeds, git SHA,
+  platform, versions, wall-clock) written next to exported results;
+- :mod:`~repro.obs.logging` — stderr diagnostics via stdlib ``logging``.
+
+``repro.obs.report`` (the ``repro report`` renderer) is imported on demand
+by the CLI rather than here: it reads result-formatting helpers from
+:mod:`repro.experiments`, which sits above this layer.
+"""
+
+from repro.obs.hook import TelemetryHook
+from repro.obs.logging import get_logger, setup_cli_logging
+from repro.obs.manifest import build_manifest, git_sha, repro_version, write_manifest
+from repro.obs.metrics import (
+    COUNT_BOUNDARIES,
+    DURATION_BOUNDARIES,
+    RATIO_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.telemetry import Telemetry, current, disable, enable, enabled, use
+from repro.obs.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "COUNT_BOUNDARIES",
+    "Counter",
+    "DURATION_BOUNDARIES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RATIO_BOUNDARIES",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryHook",
+    "Timer",
+    "Tracer",
+    "build_manifest",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "git_sha",
+    "repro_version",
+    "setup_cli_logging",
+    "use",
+    "write_manifest",
+]

@@ -1,0 +1,105 @@
+"""TelemetryHook: the bridge from engine lifecycle events to metrics/spans.
+
+The day-loop engine measures matcher seconds itself (the timing seam of
+:mod:`repro.engine.loop`); this hook never re-times anything.  It books the
+engine-measured ``matcher_seconds`` into per-phase timers
+(``engine.begin_day`` / ``engine.assign_batch`` / ``engine.end_day`` —
+their totals sum exactly to ``RunResult.decision_time``), synthesizes the
+corresponding spans for the Chrome trace, and accumulates the workload /
+utility / assignment distributions the paper's figures are built from.
+
+:class:`~repro.engine.loop.DayLoopEngine` attaches this hook automatically
+whenever :func:`repro.obs.telemetry.current` is active, so telemetry rides
+along with every entry point — ``run_algorithm``, spec execution, sweeps,
+the CLI — without any caller wiring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.hooks import RunHook
+from repro.engine.loop import BatchAssignedEvent, DayEndEvent, DayStartEvent, RunContext
+from repro.obs.metrics import COUNT_BOUNDARIES
+from repro.obs.telemetry import Telemetry
+
+#: Histogram boundaries for per-day realized utility (spans tiny test
+#: instances through paper-scale cities).
+UTILITY_BOUNDARIES = (0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0)
+
+
+class TelemetryHook(RunHook):
+    """Feed engine lifecycle events into a :class:`Telemetry` object.
+
+    Args:
+        telemetry: the sink; hooks constructed by the engine pass the
+            process's active telemetry.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._previous_label: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_run_start(self, context: RunContext) -> None:
+        telemetry = self.telemetry
+        self._previous_label = telemetry.run_label
+        telemetry.set_run_label(context.matcher.name)
+        telemetry.add("engine.runs")
+        telemetry.set_gauge("engine.num_days", context.num_days)
+        telemetry.set_gauge("engine.num_brokers", context.num_brokers)
+        telemetry.set_gauge("engine.batches_per_day", context.batches_per_day)
+        # Resolve every per-event metric once: on_batch_assigned fires for
+        # every batch, and per-call registry lookups (label sorting, key
+        # construction) would dominate the telemetry overhead budget.
+        registry, labels = telemetry.registry, telemetry.labels()
+        self._begin_timer = registry.timer("engine.begin_day", **labels)
+        self._assign_timer = registry.timer("engine.assign_batch", **labels)
+        self._end_timer = registry.timer("engine.end_day", **labels)
+        self._batches = registry.counter("engine.batches", **labels)
+        self._assignments = registry.counter("engine.assignments", **labels)
+        self._days = registry.counter("engine.days", **labels)
+        self._served = registry.counter("engine.served_broker_days", **labels)
+        self._batch_requests = registry.histogram(
+            "engine.batch_requests", boundaries=COUNT_BOUNDARIES, **labels
+        )
+        self._day_utility = registry.histogram(
+            "engine.day_utility", boundaries=UTILITY_BOUNDARIES, **labels
+        )
+        self._broker_workload = registry.histogram(
+            "engine.broker_workload", boundaries=COUNT_BOUNDARIES, **labels
+        )
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        self._begin_timer.observe(event.matcher_seconds)
+        self.telemetry.record_span(
+            "engine.begin_day", event.matcher_seconds, day=str(event.day)
+        )
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        self._assign_timer.observe(event.matcher_seconds)
+        self.telemetry.record_span(
+            "engine.assign_batch",
+            event.matcher_seconds,
+            day=str(event.day),
+            batch=str(event.batch),
+        )
+        self._batches.inc()
+        self._assignments.inc(len(event.assignment))
+        self._batch_requests.observe(event.request_ids.size)
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        self._end_timer.observe(event.matcher_seconds)
+        self.telemetry.record_span("engine.end_day", event.matcher_seconds, day=str(event.day))
+        self._days.inc()
+        outcome = event.outcome
+        self._day_utility.observe(float(outcome.total_realized_utility))
+        workloads = np.asarray(outcome.workloads)
+        for workload in workloads:
+            self._broker_workload.observe(float(workload))
+        self._served.inc(int((workloads > 0).sum()))
+
+    def on_run_end(self, context: RunContext) -> None:
+        self.telemetry.set_run_label(self._previous_label)

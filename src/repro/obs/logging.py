@@ -1,0 +1,60 @@
+"""Diagnostic logging: stdlib ``logging`` routed to stderr.
+
+Result tables and series stay on stdout (they are the program's output and
+pipe cleanly into files and diffs); everything *about* a run — progress,
+save locations, telemetry destinations — goes through a ``repro.*`` logger
+to stderr, controlled by the CLI's global ``-v`` / ``--quiet`` flags.
+
+Library code calls :func:`get_logger` and logs; only entry points (the CLI,
+scripts) call :func:`setup_cli_logging`, so embedding the library never
+hijacks the host application's logging configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: Root logger name of the package's diagnostics tree.
+ROOT_LOGGER = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` diagnostics tree."""
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(f"{ROOT_LOGGER}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a CLI verbosity (-1 = quiet, 0 = default, >=1 = verbose) to a level."""
+    if verbosity < 0:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_cli_logging(verbosity: int = 0, stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger for a CLI invocation.
+
+    Args:
+        verbosity: ``-1`` (``--quiet``) shows warnings only, ``0`` the
+            default info diagnostics, ``>= 1`` (``-v``) debug detail.
+        stream: destination (defaults to stderr).
+
+    Replaces any handler installed by a previous call, so repeated CLI
+    invocations in one process (tests) do not stack handlers.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(verbosity_level(verbosity))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

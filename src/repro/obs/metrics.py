@@ -1,0 +1,373 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms, timers.
+
+The registry is the process-local half of the observability story: every
+worker process accumulates into its own :class:`MetricsRegistry`, the
+registry serializes to plain data (:meth:`MetricsRegistry.to_dict`), and
+the parent folds worker payloads back in with :meth:`MetricsRegistry.merge`.
+Merging is exact for counters and histograms (integer bucket counts, float
+sums folded in spec order), which is what makes a ``jobs=2`` sweep's merged
+metrics bit-for-bit equal to the ``jobs=1`` run's.
+
+Histogram bucket semantics follow the Prometheus convention: boundaries are
+*inclusive upper bounds* (``le``), so a value landing exactly on a boundary
+is counted in that boundary's bucket; values above the last boundary go to
+the overflow bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Default histogram boundaries for second-scale durations.
+DURATION_BOUNDARIES = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram boundaries for non-negative counts (workloads, sizes).
+COUNT_BOUNDARIES = (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+#: Default histogram boundaries for ratios in ``[0, 1]``.
+RATIO_BOUNDARIES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Labels are stored canonically as a sorted tuple of (key, value) pairs.
+LabelItems = tuple[tuple[str, str], ...]
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+    def merge(self, other: Counter) -> None:
+        self.value += other.value
+
+    def state(self) -> dict:
+        return {"value": self.value}
+
+    def load(self, state: Mapping) -> None:
+        self.value = float(state["value"])
+
+
+class Gauge:
+    """Last-written value (plus an update count so merges know freshness)."""
+
+    kind = "gauge"
+    __slots__ = ("value", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def merge(self, other: Gauge) -> None:
+        # Last-write-wins in merge order; an untouched gauge never clobbers.
+        if other.updates > 0:
+            self.value = other.value
+        self.updates += other.updates
+
+    def state(self) -> dict:
+        return {"value": self.value, "updates": self.updates}
+
+    def load(self, state: Mapping) -> None:
+        self.value = float(state["value"])
+        self.updates = int(state["updates"])
+
+
+class Histogram:
+    """Fixed-boundary histogram with inclusive (``le``) upper bounds.
+
+    Args:
+        boundaries: strictly increasing bucket upper bounds.  Observations
+            land in the first bucket whose boundary is ``>= value``; values
+            above the last boundary land in the overflow bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("boundaries", "counts", "sum")
+
+    def __init__(self, boundaries: Iterable[float] = DURATION_BOUNDARIES) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histograms need at least one bucket boundary")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"boundaries must be strictly increasing, got {bounds}")
+        self.boundaries = bounds
+        self.counts = [0] * (len(bounds) + 1)  # final slot = overflow
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return sum(self.counts)
+
+    def observe(self, value: float) -> None:
+        """Count ``value``; a value exactly on a boundary joins that bucket."""
+        value = float(value)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+
+    def merge(self, other: Histogram) -> None:
+        if other.boundaries != self.boundaries:
+            raise ValueError(
+                f"cannot merge histograms with different boundaries: "
+                f"{self.boundaries} vs {other.boundaries}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+
+    def state(self) -> dict:
+        return {"boundaries": list(self.boundaries), "counts": list(self.counts), "sum": self.sum}
+
+    def load(self, state: Mapping) -> None:
+        self.boundaries = tuple(float(b) for b in state["boundaries"])
+        self.counts = [int(c) for c in state["counts"]]
+        self.sum = float(state["sum"])
+
+
+class Timer:
+    """Duration accumulator: call count, total seconds, min/max."""
+
+    kind = "timer"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: Timer) -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def state(self) -> dict:
+        return {"count": self.count, "total": self.total, "min": self.min, "max": self.max}
+
+    def load(self, state: Mapping) -> None:
+        self.count = int(state["count"])
+        self.total = float(state["total"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram, Timer)}
+
+Metric = Counter | Gauge | Histogram | Timer
+
+
+def _canonical_labels(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled metrics with exact merge semantics.
+
+    Metric identity is ``(name, labels)``; requesting an existing metric
+    with a conflicting kind (or, for histograms, different boundaries)
+    raises rather than silently forking the series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def _get(self, kind: type, name: str, labels: Mapping[str, object], **kwargs) -> Metric:
+        key = (name, _canonical_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(**kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r}{dict(key[1])} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, boundaries: Iterable[float] = DURATION_BOUNDARIES, **labels
+    ) -> Histogram:
+        histogram = self._get(Histogram, name, labels, boundaries=boundaries)
+        wanted = tuple(float(b) for b in boundaries)
+        if histogram.boundaries != wanted:
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{histogram.boundaries}, requested {wanted}"
+            )
+        return histogram
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._get(Timer, name, labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self) -> list[tuple[str, dict[str, str], Metric]]:
+        """``(name, labels, metric)`` triples in deterministic order."""
+        return [
+            (name, dict(labels), metric)
+            for (name, labels), metric in sorted(self._metrics.items())
+        ]
+
+    def find(self, name: str) -> list[tuple[dict[str, str], Metric]]:
+        """Every labeled series of one metric name."""
+        return [(dict(labels), m) for (n, labels), m in sorted(self._metrics.items()) if n == name]
+
+    # ------------------------------------------------------------------
+    # Serialization and merge
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data dump, safe to pickle/JSON across process boundaries."""
+        return {
+            "metrics": [
+                {"name": name, "labels": dict(labels), "kind": metric.kind,
+                 "state": metric.state()}
+                for (name, labels), metric in sorted(self._metrics.items())
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> MetricsRegistry:
+        registry = cls()
+        for entry in payload["metrics"]:
+            kind = _KINDS[entry["kind"]]
+            metric = kind.__new__(kind)
+            if kind is Histogram:
+                metric.boundaries = ()
+                metric.counts = []
+                metric.sum = 0.0
+            else:
+                kind.__init__(metric)
+            metric.load(entry["state"])
+            registry._metrics[(entry["name"], _canonical_labels(entry["labels"]))] = metric
+        return registry
+
+    def merge(self, other: MetricsRegistry | Mapping) -> None:
+        """Fold another registry (or its :meth:`to_dict` payload) into this one.
+
+        Counter and histogram merges are exact (sums of integers plus float
+        additions applied in caller-controlled order), so merging worker
+        payloads in spec order reproduces the serial run bit-for-bit.
+        """
+        if not isinstance(other, MetricsRegistry):
+            other = MetricsRegistry.from_dict(other)
+        for (name, labels), metric in sorted(other._metrics.items()):
+            existing = self._metrics.get((name, labels))
+            if existing is None:
+                # Adopt a fresh instance so the source registry stays intact.
+                clone = type(metric).__new__(type(metric))
+                if isinstance(metric, Histogram):
+                    clone.boundaries = metric.boundaries
+                    clone.counts = [0] * len(metric.counts)
+                    clone.sum = 0.0
+                else:
+                    type(metric).__init__(clone)
+                clone.merge(metric)
+                self._metrics[(name, labels)] = clone
+            elif existing.kind != metric.kind:
+                raise ValueError(
+                    f"cannot merge {metric.kind} into {existing.kind} for metric {name!r}"
+                )
+            else:
+                existing.merge(metric)
+
+    # ------------------------------------------------------------------
+    # Prometheus exposition
+    # ------------------------------------------------------------------
+    def prometheus_text(self, prefix: str = "repro") -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for (name, labels), metric in sorted(self._metrics.items()):
+            base = _prom_name(prefix, name)
+            if isinstance(metric, Counter):
+                _prom_type(lines, seen_types, base, "counter")
+                lines.append(f"{base}{_prom_labels(labels)} {_prom_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                _prom_type(lines, seen_types, base, "gauge")
+                lines.append(f"{base}{_prom_labels(labels)} {_prom_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                _prom_type(lines, seen_types, base, "histogram")
+                cumulative = 0
+                for boundary, count in zip(metric.boundaries, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(labels, le=_prom_value(boundary))} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{base}_bucket{_prom_labels(labels, le='+Inf')} {metric.count}"
+                )
+                lines.append(f"{base}_sum{_prom_labels(labels)} {_prom_value(metric.sum)}")
+                lines.append(f"{base}_count{_prom_labels(labels)} {metric.count}")
+            elif isinstance(metric, Timer):
+                _prom_type(lines, seen_types, f"{base}_seconds", "summary")
+                lines.append(
+                    f"{base}_seconds_sum{_prom_labels(labels)} {_prom_value(metric.total)}"
+                )
+                lines.append(f"{base}_seconds_count{_prom_labels(labels)} {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{cleaned}"
+
+
+def _prom_type(lines: list[str], seen: set[str], base: str, kind: str) -> None:
+    if base not in seen:
+        lines.append(f"# TYPE {base} {kind}")
+        seen.add(base)
+
+
+def _prom_labels(labels: LabelItems, **extra: str) -> str:
+    parts = [f'{k}="{v}"' for k, v in labels] + [f'{k}="{v}"' for k, v in extra.items()]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    rendered = repr(float(value))
+    return rendered[:-2] if rendered.endswith(".0") else rendered

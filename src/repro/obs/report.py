@@ -1,0 +1,142 @@
+"""Render a telemetry directory as a human-readable run report.
+
+``repro report DIR`` loads the artifacts written by
+:meth:`repro.obs.telemetry.Telemetry.export` and prints
+
+- the manifest header (version, git SHA, platform, wall-clock), and
+- a per-phase time breakdown: for every algorithm, the engine-measured
+  decision-time phases (``engine.begin_day`` / ``assign_batch`` /
+  ``end_day``) and the instrumented interior spans (KM solve, CBS pruning,
+  bandit predict/update, value-function updates), each with call counts,
+  totals and its share of the algorithm's decision time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry, Timer
+from repro.obs.telemetry import MANIFEST_JSON, METRICS_JSON
+
+#: The engine-measured phases whose totals sum to ``RunResult.decision_time``.
+ENGINE_PHASES = ("engine.begin_day", "engine.assign_batch", "engine.end_day")
+
+
+def load_telemetry_dir(directory) -> tuple[dict | None, MetricsRegistry]:
+    """Load ``manifest.json`` (if present) and ``metrics.json`` from a dir."""
+    metrics_path = os.path.join(directory, METRICS_JSON)
+    if not os.path.exists(metrics_path):
+        raise FileNotFoundError(
+            f"{metrics_path} not found — is {directory!r} a telemetry directory "
+            f"(produced by --telemetry)?"
+        )
+    with open(metrics_path, encoding="utf-8") as handle:
+        registry = MetricsRegistry.from_dict(json.load(handle))
+    manifest = None
+    manifest_path = os.path.join(directory, MANIFEST_JSON)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    return manifest, registry
+
+
+def decision_time_by_algorithm(registry: MetricsRegistry) -> dict[str, float]:
+    """Per algorithm, the summed engine phase totals (= decision seconds)."""
+    totals: dict[str, float] = {}
+    for phase in ENGINE_PHASES:
+        for labels, metric in registry.find(phase):
+            if isinstance(metric, Timer):
+                algorithm = labels.get("algorithm", "")
+                totals[algorithm] = totals.get(algorithm, 0.0) + metric.total
+    return totals
+
+
+def phase_rows(registry: MetricsRegistry) -> list[tuple[str, str, int, float, float, str]]:
+    """Breakdown rows: (algorithm, phase, calls, total s, mean ms, share).
+
+    Engine phases come first (they partition decision time); interior spans
+    (``span.*`` timers) follow, ordered by total descending.  Shares are
+    relative to the algorithm's decision time; interior spans nest inside
+    engine phases, so their shares are a drill-down, not a second sum.
+    """
+    decision = decision_time_by_algorithm(registry)
+    engine_rows = []
+    span_rows = []
+    for name, labels, metric in registry.items():
+        if not isinstance(metric, Timer):
+            continue
+        algorithm = labels.get("algorithm", "")
+        if name in ENGINE_PHASES:
+            bucket, phase = engine_rows, name
+        elif name.startswith("span."):
+            phase = name[len("span."):]
+            if phase in ENGINE_PHASES:
+                continue  # the synthesized engine spans; already listed above
+            bucket = span_rows
+        else:
+            continue
+        total = decision.get(algorithm, 0.0)
+        share = f"{metric.total / total:7.1%}" if total > 0 else "      -"
+        bucket.append(
+            (algorithm, phase, metric.count, metric.total, metric.mean * 1e3, share)
+        )
+    engine_rows.sort(key=lambda row: (row[0], -row[3]))
+    span_rows.sort(key=lambda row: (row[0], -row[3]))
+    return engine_rows + span_rows
+
+
+def render_report(directory) -> str:
+    """The full plain-text report for one telemetry directory."""
+    from repro.experiments.reporting import format_table
+
+    manifest, registry = load_telemetry_dir(directory)
+    lines: list[str] = []
+    if manifest:
+        lines.append(f"manifest: {manifest.get('command', 'run')} "
+                     f"(repro {manifest.get('repro_version', '?')}, "
+                     f"git {str(manifest.get('git_sha'))[:12]}, "
+                     f"python {manifest.get('python', '?')}, "
+                     f"numpy {manifest.get('numpy', '?')})")
+        if "wall_seconds" in manifest:
+            lines.append(f"wall-clock: {manifest['wall_seconds']:.2f}s "
+                         f"(created {manifest.get('created_utc', '?')})")
+        lines.append("")
+
+    decision = decision_time_by_algorithm(registry)
+    if decision:
+        lines.append(
+            format_table(
+                ["algorithm", "decision s"],
+                sorted(decision.items()),
+                title="Decision time (engine-measured)",
+            )
+        )
+        lines.append("")
+
+    rows = phase_rows(registry)
+    if rows:
+        lines.append(
+            format_table(
+                ["algorithm", "phase", "calls", "total s", "mean ms", "% of decision"],
+                rows,
+                title="Per-phase time breakdown",
+            )
+        )
+    else:
+        lines.append("no phase timers recorded (was the run executed with telemetry on?)")
+
+    counters = [
+        (name, labels.get("algorithm", ""), int(metric.value))
+        for name, labels, metric in registry.items()
+        if metric.kind == "counter" and name.startswith("engine.")
+    ]
+    if counters:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["counter", "algorithm", "value"], counters, title="Engine counters"
+            )
+        )
+    return "\n".join(lines)

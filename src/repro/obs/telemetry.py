@@ -1,0 +1,282 @@
+"""The process-wide telemetry switchboard.
+
+Telemetry is **off by default**: every instrumentation point in the hot
+paths goes through the module-level helpers here (:func:`span`,
+:func:`add`, :func:`observe`, :func:`set_gauge`), whose disabled fast path
+is a single global read — measured end-to-end overhead with telemetry off
+is noise, and with telemetry on stays under the 5% budget enforced by
+``benchmarks/test_obs_overhead.py``.
+
+One :class:`Telemetry` object bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+with a :class:`~repro.obs.tracing.Tracer` and a ``run_label`` (the current
+matcher's display name, maintained by
+:class:`~repro.obs.hook.TelemetryHook`) that is stamped onto every span
+and metric as an ``algorithm`` label.  Spans double-book: each finished
+span also feeds a ``span.<name>`` timer in the registry, so per-phase time
+totals survive the cross-process registry merge even though raw span
+timestamps do not align across processes.
+
+Activate with :func:`enable` / :func:`disable`, or scoped with::
+
+    with repro.obs.telemetry.use(Telemetry()) as tel:
+        run_algorithm(platform, matcher)
+    tel.export("out/")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from typing import Callable, Iterable, Mapping
+
+from repro.obs.metrics import (
+    COUNT_BOUNDARIES,
+    DURATION_BOUNDARIES,
+    MetricsRegistry,
+)
+from repro.obs.tracing import SpanRecord, Tracer, _Span
+
+#: Exported file names inside a telemetry directory.
+METRICS_JSON = "metrics.json"
+METRICS_PROM = "metrics.prom"
+SPANS_JSONL = "spans.jsonl"
+TRACE_JSON = "trace.json"
+MANIFEST_JSON = "manifest.json"
+
+
+class _NullSpan:
+    """No-op context manager returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """One process's metrics registry + span tracer + run labeling."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock)
+        self.tracer.on_finish = self._book_span
+        self.run_label: str | None = None
+        # Hot-path caches, invalidated on every run-label change: resolved
+        # metric instances (skipping per-call label canonicalization) and
+        # one shared attrs dict for spans without explicit attributes
+        # (treated as frozen — never mutated after creation).
+        self._span_timers: dict[str, object] = {}
+        self._metric_cache: dict[tuple[str, str], object] = {}
+        self._label_attrs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Run labeling
+    # ------------------------------------------------------------------
+    def set_run_label(self, label: str | None) -> None:
+        """Set the algorithm label stamped onto spans and metrics."""
+        self.run_label = label
+        self._span_timers.clear()
+        self._metric_cache.clear()
+        self._label_attrs = {"algorithm": label} if label else {}
+
+    def labels(self) -> dict[str, str]:
+        """The implicit labels of the current run (empty outside a run)."""
+        return {"algorithm": self.run_label} if self.run_label else {}
+
+    # ------------------------------------------------------------------
+    # Span + metric entry points
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: str):
+        """A live span; also feeds the ``span.<name>`` timer on exit."""
+        if not attrs:
+            # The common case shares one frozen label dict across spans.
+            return _Span(self.tracer, name, self._label_attrs)
+        if self.run_label and "algorithm" not in attrs:
+            attrs["algorithm"] = self.run_label
+        return _Span(self.tracer, name, attrs)
+
+    def record_span(self, name: str, duration: float, **attrs: str) -> None:
+        """Book an externally measured duration as a span ending now."""
+        if self.run_label and "algorithm" not in attrs:
+            attrs["algorithm"] = self.run_label
+        self.tracer.record_span(name, duration, **attrs)
+
+    def _book_span(self, record: SpanRecord) -> None:
+        timer = self._span_timers.get(record.name)
+        if timer is None:
+            timer = self.registry.timer(f"span.{record.name}", **self.labels())
+            self._span_timers[record.name] = timer
+        timer.observe(record.duration)
+
+    def add(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Increment a labeled counter (run label applied automatically)."""
+        if labels:
+            self.registry.counter(name, **{**self.labels(), **labels}).inc(amount)
+            return
+        counter = self._metric_cache.get(("counter", name))
+        if counter is None:
+            counter = self.registry.counter(name, **self.labels())
+            self._metric_cache[("counter", name)] = counter
+        counter.inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a labeled gauge (run label applied automatically)."""
+        if labels:
+            self.registry.gauge(name, **{**self.labels(), **labels}).set(value)
+            return
+        gauge = self._metric_cache.get(("gauge", name))
+        if gauge is None:
+            gauge = self.registry.gauge(name, **self.labels())
+            self._metric_cache[("gauge", name)] = gauge
+        gauge.set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Iterable[float] = DURATION_BOUNDARIES,
+        **labels,
+    ) -> None:
+        """Observe into a labeled histogram (run label applied automatically).
+
+        Boundaries are fixed at a histogram's first registration; the cached
+        fast path assumes every call site of one name agrees on them (the
+        registry raises on the first conflicting registration).
+        """
+        if labels:
+            self.registry.histogram(
+                name, boundaries=boundaries, **{**self.labels(), **labels}
+            ).observe(value)
+            return
+        histogram = self._metric_cache.get(("histogram", name))
+        if histogram is None:
+            histogram = self.registry.histogram(
+                name, boundaries=boundaries, **self.labels()
+            )
+            self._metric_cache[("histogram", name)] = histogram
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Cross-process payloads
+    # ------------------------------------------------------------------
+    def payload(self) -> dict:
+        """Plain-data snapshot a worker ships back to the parent."""
+        return {"registry": self.registry.to_dict(), "spans": self.tracer.to_payload()}
+
+    def merge_payload(self, payload: Mapping) -> None:
+        """Fold a worker's payload in: exact registry merge + a new span lane."""
+        self.registry.merge(payload["registry"])
+        self.tracer.extend(payload["spans"], pid=self.tracer.next_pid)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, directory, manifest: Mapping | None = None) -> dict[str, str]:
+        """Write metrics, spans, trace (and optionally a manifest) to a dir.
+
+        Returns:
+            Mapping of artifact kind to written path.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "metrics_json": os.path.join(directory, METRICS_JSON),
+            "metrics_prom": os.path.join(directory, METRICS_PROM),
+            "spans_jsonl": os.path.join(directory, SPANS_JSONL),
+            "trace_json": os.path.join(directory, TRACE_JSON),
+        }
+        with open(paths["metrics_json"], "w", encoding="utf-8") as handle:
+            json.dump(self.registry.to_dict(), handle, indent=2, sort_keys=True)
+        with open(paths["metrics_prom"], "w", encoding="utf-8") as handle:
+            handle.write(self.registry.prometheus_text())
+        self.tracer.export_jsonl(paths["spans_jsonl"])
+        self.tracer.export_chrome_trace(paths["trace_json"])
+        if manifest is not None:
+            paths["manifest_json"] = os.path.join(directory, MANIFEST_JSON)
+            with open(paths["manifest_json"], "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+        return paths
+
+
+#: The active telemetry of this process (None = disabled, the default).
+_ACTIVE: Telemetry | None = None
+
+
+def current() -> Telemetry | None:
+    """The active :class:`Telemetry`, or ``None`` while disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is currently on."""
+    return _ACTIVE is not None
+
+
+def enable(telemetry: Telemetry | None = None) -> Telemetry:
+    """Install (and return) the process-wide telemetry object."""
+    global _ACTIVE
+    _ACTIVE = telemetry if telemetry is not None else Telemetry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Turn telemetry collection off (instrumentation reverts to no-ops)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def use(telemetry: Telemetry):
+    """Scoped activation, restoring whatever was active before."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# Module-level instrumentation helpers (the hot-path API).
+# Disabled cost: one global read and an early return.
+# ----------------------------------------------------------------------
+def span(name: str, **attrs: str):
+    """A live span against the active telemetry; no-op when disabled."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        return _NULL_SPAN
+    return telemetry.span(name, **attrs)
+
+
+def add(name: str, amount: float = 1.0, **labels) -> None:
+    """Counter increment against the active telemetry; no-op when disabled."""
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.add(name, amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Gauge write against the active telemetry; no-op when disabled."""
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.set_gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    boundaries: Iterable[float] = COUNT_BOUNDARIES,
+    **labels,
+) -> None:
+    """Histogram observation against the active telemetry; no-op when disabled."""
+    telemetry = _ACTIVE
+    if telemetry is not None:
+        telemetry.observe(name, value, boundaries=boundaries, **labels)

@@ -1,0 +1,213 @@
+"""Span tracing: nested begin/end records with JSONL and Chrome-trace export.
+
+A :class:`Tracer` collects :class:`SpanRecord` entries — one per completed
+span, with start offset, duration and nesting depth — from the
+context-manager :meth:`Tracer.span` API::
+
+    with tracer.span("vfga.assign_batch", algorithm="LACB-Opt"):
+        with tracer.span("matching.solve"):
+            ...
+
+Records export two ways:
+
+- :meth:`Tracer.export_jsonl` — one JSON object per line, greppable and
+  streaming-friendly;
+- :meth:`Tracer.chrome_trace` — the Chrome ``trace_event`` format
+  (``"X"`` complete events with microsecond ``ts``/``dur``), which loads
+  directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  Spans merged from worker processes keep their own ``pid`` lane.
+
+Timestamps are seconds since the tracer's epoch (its construction time),
+measured on a monotonic clock; cross-process records are therefore only
+comparable within one ``pid`` lane, which is exactly how the Chrome trace
+renders them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: span name (dotted phase path, e.g. ``"matching.solve"``).
+        start: seconds since the tracer epoch at span begin.
+        duration: span length in seconds.
+        depth: nesting depth at begin (0 = top level).
+        pid: process lane (0 = the tracer's own process; worker payloads
+            merged by :meth:`Tracer.extend` get their own lane).
+        attrs: free-form string attributes (algorithm, day, ...).
+    """
+
+    name: str
+    start: float
+    duration: float
+    depth: int = 0
+    pid: int = 0
+    attrs: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "pid": self.pid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> SpanRecord:
+        return cls(
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            duration=float(payload["duration"]),
+            depth=int(payload.get("depth", 0)),
+            pid=int(payload.get("pid", 0)),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class _Span:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, str]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> _Span:
+        tracer = self._tracer
+        tracer._depth += 1
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._depth -= 1
+        tracer._finish(self.name, self._start, end - self._start, tracer._depth, self.attrs)
+
+
+class Tracer:
+    """Collects nested span records on a monotonic clock.
+
+    Args:
+        clock: monotonic time source (injectable for deterministic tests).
+
+    The tracer is single-threaded by design — the day loop and every
+    matcher run on one thread per process, and worker processes each own a
+    fresh tracer whose records are shipped back and merged.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        #: Wall-clock time at epoch, letting exports anchor to real time.
+        self.epoch_walltime = time.time()
+        self.records: list[SpanRecord] = []
+        self._depth = 0
+        #: Called with each finished record (the telemetry layer uses this
+        #: to feed span durations into the metrics registry).
+        self.on_finish: Callable[[SpanRecord], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: str) -> _Span:
+        """Open a nested span; closes (and records) on context exit."""
+        return _Span(self, name, attrs)
+
+    def record_span(self, name: str, duration: float, **attrs: str) -> SpanRecord:
+        """Record an already-measured span ending now.
+
+        Lifecycle hooks receive engine-measured ``matcher_seconds`` *after*
+        the timed call returned; this synthesizes the corresponding span
+        as ``[now - duration, now]`` without re-timing anything.
+        """
+        end = self._clock()
+        return self._finish(name, end - duration, duration, self._depth, dict(attrs))
+
+    def _finish(
+        self, name: str, start: float, duration: float, depth: int, attrs: dict[str, str]
+    ) -> SpanRecord:
+        # Positional construction: this runs once per span on hot paths.
+        record = SpanRecord(name, start - self.epoch, duration, depth, 0, attrs)
+        self.records.append(record)
+        if self.on_finish is not None:
+            self.on_finish(record)
+        return record
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return self._depth
+
+    # ------------------------------------------------------------------
+    # Cross-process merge
+    # ------------------------------------------------------------------
+    def to_payload(self) -> list[dict]:
+        """Plain-data dump of all records (for worker → parent shipping)."""
+        return [record.to_dict() for record in self.records]
+
+    def extend(self, payload: Iterable[Mapping], pid: int) -> None:
+        """Adopt records shipped from another process under lane ``pid``."""
+        for entry in payload:
+            record = SpanRecord.from_dict(entry)
+            record.pid = pid
+            self.records.append(record)
+
+    @property
+    def next_pid(self) -> int:
+        """The next unused process lane (0 is this process)."""
+        return max((record.pid for record in self.records), default=0) + 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path) -> None:
+        """Write one JSON object per record (sorted by lane, then start)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in sorted(self.records, key=lambda r: (r.pid, r.start)):
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+
+    def chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Every span becomes one complete (``"ph": "X"``) event with
+        microsecond ``ts``/``dur``; nesting is reconstructed by the viewer
+        from temporal containment on each ``(pid, tid)`` track.
+        """
+        events = []
+        for record in sorted(self.records, key=lambda r: (r.pid, r.start)):
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": round(record.start * 1e6, 3),
+                    "dur": round(record.duration * 1e6, 3),
+                    "pid": record.pid,
+                    "tid": 0,
+                    "args": dict(record.attrs),
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"epoch_walltime": self.epoch_walltime},
+        }
+
+    def export_chrome_trace(self, path) -> None:
+        """Write :meth:`chrome_trace` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)

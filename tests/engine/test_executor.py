@@ -1,9 +1,12 @@
-"""Executor: ordering, worker counts, and the platform cache."""
+"""Executor: ordering, worker counts, the platform cache, telemetry merge."""
 
 import numpy as np
+import pytest
 
 from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
 from repro.engine.executor import execute_spec, warm_platform_cache
+from repro.obs import telemetry as obs
+from repro.obs.telemetry import Telemetry
 from repro.simulation import SyntheticConfig
 
 TINY = SyntheticConfig(num_brokers=20, num_requests=80, num_days=2, imbalance=0.1, seed=11)
@@ -47,6 +50,70 @@ def test_empty_and_single_spec_lists():
     assert run_many([], jobs=4) == []
     (only,) = run_many(_grid()[:1], jobs=4)
     assert only.algorithm == "Top-1"
+
+
+def _telemetry_grid():
+    # LACB-Opt exercises the full instrumentation surface (CBS pruning,
+    # KM solve, TD updates, bandit train); Top-3 adds a second label.
+    return [
+        RunSpec(platform=PlatformSpec.synthetic(TINY), matcher=MatcherSpec(name, seed=1))
+        for name in ("LACB-Opt", "Top-3")
+    ]
+
+
+def _comparable_metrics(telemetry):
+    """Counters and histograms (the exactly-mergeable kinds) as plain data."""
+    return [
+        entry
+        for entry in telemetry.registry.to_dict()["metrics"]
+        if entry["kind"] in ("counter", "histogram")
+    ]
+
+
+def test_parallel_telemetry_merge_is_bit_identical_to_serial():
+    """jobs must be a pure wall-clock knob for hook-observed state too.
+
+    Regression test: with jobs>1 the runs execute in worker processes, so
+    any telemetry accumulated there is lost unless ``execute_spec`` ships
+    it back and the parent merges it.  Counters and histograms merge
+    exactly, so the jobs=2 registry must equal the jobs=1 registry
+    bit-for-bit.
+    """
+    serial, parallel = Telemetry(), Telemetry()
+    run_many(_telemetry_grid(), jobs=1, telemetry=serial)
+    run_many(_telemetry_grid(), jobs=2, telemetry=parallel)
+
+    serial_metrics = _comparable_metrics(serial)
+    assert serial_metrics, "the serial run must have observed something"
+    assert serial_metrics == _comparable_metrics(parallel)
+    # The observed runs really went through the instrumented paths.
+    names = {entry["name"] for entry in serial_metrics}
+    assert "engine.runs" in names
+    assert "vfga.td_updates" in names
+
+
+def test_run_many_uses_active_telemetry_by_default():
+    telemetry = Telemetry()
+    with obs.use(telemetry):
+        run_many(_telemetry_grid()[:1], jobs=1)
+    assert telemetry.registry.counter("engine.runs", algorithm="LACB-Opt").value == 1
+    # Worker spans were merged into the parent tracer.
+    assert len(telemetry.tracer.records) > 0
+
+
+def test_run_many_without_telemetry_collects_nothing():
+    obs.disable()
+    results = run_many(_telemetry_grid()[:1], jobs=1)
+    assert len(results) == 1
+    assert obs.current() is None
+
+
+def test_parallel_results_unchanged_by_telemetry_collection():
+    plain = run_many(_telemetry_grid(), jobs=1)
+    observed = run_many(_telemetry_grid(), jobs=2, telemetry=Telemetry())
+    for a, b in zip(plain, observed):
+        assert a.total_realized_utility == pytest.approx(b.total_realized_utility)
+        np.testing.assert_array_equal(a.broker_workload, b.broker_workload)
 
 
 def test_warm_platform_cache_reuses_donated_platform(monkeypatch):

@@ -111,3 +111,53 @@ def test_progress_reporter_lines():
 def test_progress_reporter_rejects_bad_interval():
     with pytest.raises(ValueError):
         ProgressReporter(every=0)
+
+
+def test_progress_reporter_exact_line_format():
+    """One deterministic-format line per day: [name] day D/N utility= matcher=."""
+    platform = _tiny_platform()
+    stream = io.StringIO()
+    DayLoopEngine().run(
+        platform,
+        make_matcher("Top-3", platform, seed=1),
+        hooks=[ProgressReporter(every=1, stream=stream)],
+    )
+    import re
+
+    pattern = re.compile(
+        r"^\[Top-3\] day (\d+)/2 utility=\d+\.\d{2} matcher=\d+\.\d{3}s$"
+    )
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    for expected_day, line in enumerate(lines, start=1):
+        match = pattern.match(line)
+        assert match, f"malformed progress line: {line!r}"
+        assert int(match.group(1)) == expected_day
+
+
+def test_progress_reporter_every_skips_but_always_reports_final_day():
+    platform = generate_city(
+        SyntheticConfig(num_brokers=20, num_requests=150, num_days=5, imbalance=0.1, seed=11)
+    )
+    stream = io.StringIO()
+    DayLoopEngine().run(
+        platform,
+        make_matcher("Top-1", platform, seed=1),
+        hooks=[ProgressReporter(every=2, stream=stream)],
+    )
+    lines = stream.getvalue().splitlines()
+    # Days 2 and 4 hit the interval; day 5 is the forced final report.
+    assert [line.split()[2] for line in lines] == ["2/5", "4/5", "5/5"]
+
+
+def test_progress_reporter_matcher_seconds_accumulate_within_run():
+    platform = _tiny_platform()
+    stream = io.StringIO()
+    reporter = ProgressReporter(every=1, stream=stream)
+    DayLoopEngine().run(platform, make_matcher("Top-1", platform, seed=1), hooks=[reporter])
+    seconds = [
+        float(line.rsplit("matcher=", 1)[1].rstrip("s"))
+        for line in stream.getvalue().splitlines()
+    ]
+    # The reported matcher time is cumulative, so it never decreases.
+    assert seconds == sorted(seconds)

@@ -1,0 +1,58 @@
+"""Run manifests: schema, provenance fields, spec descriptions."""
+
+import json
+
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_sha,
+    repro_version,
+    write_manifest,
+)
+from repro.simulation import SyntheticConfig
+
+
+def test_build_manifest_records_provenance():
+    manifest = build_manifest(
+        command="compare",
+        args={"brokers": 200, "algorithms": ["LACB-Opt"], "func": print},
+        wall_seconds=1.5,
+    )
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["repro_version"] == repro_version()
+    assert manifest["command"] == "compare"
+    assert manifest["args"]["brokers"] == 200
+    assert manifest["args"]["algorithms"] == ["LACB-Opt"]
+    # Non-JSON values are rendered, not dropped or crashed on.
+    assert isinstance(manifest["args"]["func"], str)
+    assert manifest["wall_seconds"] == 1.5
+    assert manifest["python"].count(".") == 2
+    assert "T" in manifest["created_utc"]
+
+
+def test_git_sha_resolves_inside_this_checkout():
+    sha = git_sha()
+    assert sha is not None
+    assert len(sha) == 40
+    assert set(sha) <= set("0123456789abcdef")
+
+
+def test_manifest_describes_run_specs():
+    spec = RunSpec(
+        platform=PlatformSpec.synthetic(
+            SyntheticConfig(num_brokers=20, num_requests=80, num_days=2, imbalance=0.1, seed=1)
+        ),
+        matcher=MatcherSpec("LACB-Opt", seed=7),
+    )
+    manifest = build_manifest(specs=[spec])
+    (run,) = manifest["runs"]
+    assert run["algorithm"] == "LACB-Opt"
+    assert run["matcher_seed"] == 7
+
+
+def test_write_manifest_is_json_on_disk(tmp_path):
+    path = write_manifest(tmp_path / "out", build_manifest(command="sweep"))
+    loaded = json.loads(open(path).read())
+    assert loaded["schema"] == MANIFEST_SCHEMA
+    assert loaded["command"] == "sweep"

@@ -1,0 +1,183 @@
+"""Metrics primitives: counters, gauges, histograms, timers, registry merge."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BOUNDARIES,
+    DURATION_BOUNDARIES,
+    RATIO_BOUNDARIES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+# ----------------------------------------------------------------------
+# Counter / Gauge / Timer
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_merge_is_last_write_wins():
+    a, b = Gauge(), Gauge()
+    a.set(1.0)
+    b.set(7.0)
+    a.merge(b)
+    assert a.value == 7.0
+    # An untouched gauge must not clobber a written one.
+    a.merge(Gauge())
+    assert a.value == 7.0
+
+
+def test_timer_tracks_count_total_min_max_mean():
+    timer = Timer()
+    for value in (0.2, 0.1, 0.4):
+        timer.observe(value)
+    assert timer.count == 3
+    assert timer.total == pytest.approx(0.7)
+    assert timer.min == pytest.approx(0.1)
+    assert timer.max == pytest.approx(0.4)
+    assert timer.mean == pytest.approx(0.7 / 3)
+    assert Timer().mean == 0.0
+
+
+# ----------------------------------------------------------------------
+# Histogram buckets
+# ----------------------------------------------------------------------
+def test_histogram_value_exactly_on_boundary_lands_in_that_bucket():
+    """Prometheus ``le`` semantics: buckets are inclusive upper bounds."""
+    histogram = Histogram(boundaries=(1.0, 2.0, 5.0))
+    histogram.observe(2.0)
+    assert histogram.counts == [0, 1, 0, 0]
+    histogram.observe(1.0)
+    assert histogram.counts == [1, 1, 0, 0]
+    # Strictly above the last boundary goes to the overflow slot.
+    histogram.observe(5.000001)
+    assert histogram.counts == [1, 1, 0, 1]
+
+
+def test_histogram_below_first_boundary_and_overflow():
+    histogram = Histogram(boundaries=(1.0, 2.0))
+    histogram.observe(0.0)
+    histogram.observe(100.0)
+    assert histogram.counts == [1, 0, 1]
+    assert histogram.count == 2
+    assert histogram.sum == pytest.approx(100.0)
+
+
+def test_histogram_merge_of_empty_histograms():
+    a = Histogram(boundaries=(1.0, 2.0))
+    b = Histogram(boundaries=(1.0, 2.0))
+    a.merge(b)
+    assert a.count == 0
+    assert a.sum == 0.0
+    assert a.counts == [0, 0, 0]
+    # Empty-into-populated leaves the populated side unchanged.
+    b.observe(1.5)
+    b.merge(Histogram(boundaries=(1.0, 2.0)))
+    assert b.counts == [0, 1, 0]
+
+
+def test_histogram_merge_requires_identical_boundaries():
+    a = Histogram(boundaries=(1.0, 2.0))
+    b = Histogram(boundaries=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_rejects_non_increasing_boundaries():
+    with pytest.raises(ValueError):
+        Histogram(boundaries=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(boundaries=())
+
+
+def test_shared_boundary_presets_are_strictly_increasing():
+    for preset in (DURATION_BOUNDARIES, COUNT_BOUNDARIES, RATIO_BOUNDARIES):
+        assert all(a < b for a, b in zip(preset, preset[1:]))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_is_idempotent_per_label_set():
+    registry = MetricsRegistry()
+    a = registry.counter("requests", algorithm="LACB")
+    b = registry.counter("requests", algorithm="LACB")
+    c = registry.counter("requests", algorithm="AN")
+    assert a is b
+    assert a is not c
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x")
+
+
+def test_registry_histogram_boundary_conflict_raises():
+    registry = MetricsRegistry()
+    registry.histogram("h", boundaries=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("h", boundaries=(1.0, 3.0))
+
+
+def test_registry_roundtrip_through_dict():
+    registry = MetricsRegistry()
+    registry.counter("runs", algorithm="AN").inc(3)
+    registry.gauge("ratio").set(0.25)
+    registry.histogram("sizes", boundaries=(1.0, 2.0)).observe(1.5)
+    registry.timer("solve").observe(0.01)
+
+    clone = MetricsRegistry.from_dict(registry.to_dict())
+    assert clone.to_dict() == registry.to_dict()
+
+
+def test_registry_merge_is_exact_and_order_independent_for_counters():
+    def build(values):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.counter("n").inc(value)
+            registry.histogram("h", boundaries=(1.0, 2.0)).observe(value)
+        return registry
+
+    merged_ab = build([1.0, 2.0])
+    merged_ab.merge(build([0.5]))
+    merged_ba = build([0.5])
+    merged_ba.merge(build([1.0, 2.0]))
+    assert merged_ab.counter("n").value == merged_ba.counter("n").value == 3.5
+    assert merged_ab.histogram("h", boundaries=(1.0, 2.0)).counts == (
+        merged_ba.histogram("h", boundaries=(1.0, 2.0)).counts
+    )
+
+
+def test_registry_merge_accepts_serialized_payload():
+    a = MetricsRegistry()
+    a.counter("n").inc()
+    b = MetricsRegistry()
+    b.counter("n").inc(2)
+    b.counter("only_b", algorithm="AN").inc(5)
+    a.merge(b.to_dict())
+    assert a.counter("n").value == 3.0
+    assert a.counter("only_b", algorithm="AN").value == 5.0
+
+
+def test_prometheus_text_exposition():
+    registry = MetricsRegistry()
+    registry.counter("engine.runs", algorithm="LACB-Opt").inc(2)
+    registry.histogram("batch.sizes", boundaries=(1.0, 2.0)).observe(1.5)
+    text = registry.prometheus_text(prefix="repro")
+    assert 'repro_engine_runs{algorithm="LACB-Opt"} 2' in text
+    assert "# TYPE repro_engine_runs counter" in text
+    assert 'repro_batch_sizes_bucket{le="2"} 1' in text
+    assert 'repro_batch_sizes_bucket{le="+Inf"} 1' in text
+    assert "repro_batch_sizes_count 1" in text

@@ -1,0 +1,63 @@
+"""Report rendering: per-phase breakdown from an exported telemetry dir."""
+
+import pytest
+
+from repro.obs.report import (
+    decision_time_by_algorithm,
+    load_telemetry_dir,
+    phase_rows,
+    render_report,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _fake_run_telemetry() -> Telemetry:
+    """A telemetry object shaped like a real two-phase LACB-Opt run."""
+    telemetry = Telemetry()
+    telemetry.set_run_label("LACB-Opt")
+    label = telemetry.labels()
+    telemetry.registry.timer("engine.begin_day", **label).observe(0.2)
+    telemetry.registry.timer("engine.assign_batch", **label).observe(0.7)
+    telemetry.registry.timer("engine.end_day", **label).observe(0.1)
+    telemetry.registry.timer("span.matching.solve", **label).observe(0.5)
+    telemetry.registry.timer("span.engine.begin_day", **label).observe(0.2)
+    telemetry.add("engine.runs")
+    return telemetry
+
+
+def test_decision_time_sums_engine_phases():
+    totals = decision_time_by_algorithm(_fake_run_telemetry().registry)
+    assert totals == {"LACB-Opt": pytest.approx(1.0)}
+
+
+def test_phase_rows_engine_first_and_no_synthesized_duplicates():
+    rows = phase_rows(_fake_run_telemetry().registry)
+    phases = [row[1] for row in rows]
+    # Engine phases lead, by descending total; the synthesized
+    # span.engine.* twins are suppressed, interior spans follow.
+    assert phases == [
+        "engine.assign_batch", "engine.begin_day", "engine.end_day", "matching.solve"
+    ]
+    solve = rows[-1]
+    assert solve[0] == "LACB-Opt"
+    assert solve[2] == 1  # calls
+    assert solve[5].strip() == "50.0%"  # share of the 1.0s decision time
+
+
+def test_render_report_roundtrip_from_export(tmp_path):
+    telemetry = _fake_run_telemetry()
+    telemetry.export(tmp_path, manifest={"command": "compare", "wall_seconds": 2.0})
+    manifest, registry = load_telemetry_dir(tmp_path)
+    assert manifest["command"] == "compare"
+    assert decision_time_by_algorithm(registry)["LACB-Opt"] == pytest.approx(1.0)
+
+    report = render_report(tmp_path)
+    assert "compare" in report
+    assert "engine.assign_batch" in report
+    assert "matching.solve" in report
+    assert "engine.runs" in report
+
+
+def test_missing_directory_gives_actionable_error(tmp_path):
+    with pytest.raises(FileNotFoundError, match="telemetry directory"):
+        render_report(tmp_path / "nope")

@@ -1,0 +1,111 @@
+"""Tracer: nesting, synthesized spans, worker lanes, JSONL and Chrome export."""
+
+import json
+
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing only when told to."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_nested_spans_record_depth_and_duration():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer"):
+        clock.advance(0.5)
+        with tracer.span("inner", algorithm="LACB"):
+            clock.advance(0.25)
+        clock.advance(0.25)
+    # Children finish (and are recorded) before their parents.
+    inner, outer = tracer.records
+    assert (inner.name, inner.depth) == ("inner", 1)
+    assert (outer.name, outer.depth) == ("outer", 0)
+    assert inner.duration == 0.25
+    assert outer.duration == 1.0
+    assert inner.attrs == {"algorithm": "LACB"}
+    assert inner.start == 0.5  # relative to the tracer epoch
+    assert tracer.depth == 0
+
+
+def test_record_span_books_an_external_duration_ending_now():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    clock.advance(2.0)
+    record = tracer.record_span("engine.begin_day", 0.5, day="3")
+    assert record.duration == 0.5
+    assert record.start == 1.5  # [now - duration, now]
+    assert record.attrs == {"day": "3"}
+
+
+def test_on_finish_callback_sees_every_record():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    seen = []
+    tracer.on_finish = seen.append
+    with tracer.span("a"):
+        clock.advance(0.1)
+    tracer.record_span("b", 0.2)
+    assert [record.name for record in seen] == ["a", "b"]
+
+
+def test_extend_assigns_worker_lane_pids():
+    parent, worker = Tracer(clock=FakeClock()), Tracer(clock=FakeClock())
+    with worker.span("w"):
+        pass
+    parent.record_span("p", 0.1)
+    assert parent.next_pid == 1
+    parent.extend(worker.to_payload(), pid=parent.next_pid)
+    assert {record.pid for record in parent.records} == {0, 1}
+    assert parent.next_pid == 2
+
+
+def test_export_jsonl_roundtrip(tmp_path):
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer"):
+        clock.advance(0.5)
+    path = tmp_path / "spans.jsonl"
+    tracer.export_jsonl(path)
+    lines = path.read_text().strip().splitlines()
+    records = [SpanRecord.from_dict(json.loads(line)) for line in lines]
+    assert records == tracer.records
+
+
+def test_chrome_trace_schema_is_perfetto_loadable(tmp_path):
+    """The exported trace must be a valid Chrome trace_event JSON object."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("matching.solve", backend="repro"):
+        clock.advance(0.001)
+    tracer.record_span("engine.begin_day", 0.5)
+
+    path = tmp_path / "trace.json"
+    tracer.export_chrome_trace(path)
+    trace = json.loads(path.read_text())
+
+    assert isinstance(trace["traceEvents"], list)
+    assert trace["displayTimeUnit"] == "ms"
+    assert len(trace["traceEvents"]) == 2
+    for event in trace["traceEvents"]:
+        assert event["ph"] == "X"  # complete events
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["cat"], str)
+        assert isinstance(event["ts"], (int, float))
+        assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert isinstance(event["args"], dict)
+    solve = next(e for e in trace["traceEvents"] if e["name"] == "matching.solve")
+    assert solve["cat"] == "matching"
+    assert solve["dur"] == 1000.0  # 1 ms in microseconds
+    assert solve["args"] == {"backend": "repro"}

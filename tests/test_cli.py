@@ -1,5 +1,8 @@
 """CLI: every subcommand runs end-to-end on tiny instances."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -8,6 +11,15 @@ from repro.cli import build_parser, main
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    from repro.obs.manifest import repro_version
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro_version() in capsys.readouterr().out
 
 
 def test_compare_command(capsys):
@@ -103,3 +115,103 @@ def test_city_chart(capsys):
     out = capsys.readouterr().out
     assert "Total realized utility" in out
     assert "#" in out  # histogram bars
+
+
+def test_compare_telemetry_then_report_roundtrip(capsys, tmp_path):
+    """The acceptance flow: compare --telemetry DIR && report DIR."""
+    telemetry_dir = tmp_path / "tel"
+    main(
+        [
+            "compare",
+            "--brokers", "30", "--requests", "300", "--days", "2",
+            "--algorithms", "LACB-Opt",
+            "--telemetry", str(telemetry_dir),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "LACB-Opt" in out  # the result table still prints
+    for artifact in ("metrics.json", "metrics.prom", "spans.jsonl",
+                     "trace.json", "manifest.json"):
+        assert (telemetry_dir / artifact).exists(), artifact
+    manifest = json.loads((telemetry_dir / "manifest.json").read_text())
+    assert manifest["command"] == "compare"
+    assert manifest["args"]["brokers"] == 30
+    assert manifest["wall_seconds"] > 0
+
+    main(["report", str(telemetry_dir)])
+    report = capsys.readouterr().out
+    assert "Per-phase time breakdown" in report
+    assert "engine.assign_batch" in report
+    assert "matching.solve" in report
+    assert "% of decision" in report
+
+
+def test_telemetry_disabled_after_command():
+    from repro.obs import telemetry as obs
+
+    main(
+        [
+            "compare",
+            "--brokers", "20", "--requests", "80", "--days", "2",
+            "--algorithms", "Top-1",
+            "--telemetry", "/tmp/ignored-telemetry-dir",
+        ]
+    )
+    assert not obs.enabled()
+
+
+def test_sweep_diagnostics_go_to_stderr_not_stdout(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    main(
+        [
+            "sweep", "num_brokers", "20", "30",
+            "--brokers", "20", "--requests", "200", "--days", "2",
+            "--algorithms", "Top-3",
+            "--output", str(output),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert "sweep saved" not in captured.out  # tables only on stdout
+    assert "sweep saved" in captured.err
+    assert output.exists()
+
+
+def test_quiet_suppresses_info_diagnostics(capsys, tmp_path):
+    output = tmp_path / "sweep.json"
+    main(
+        [
+            "-q",
+            "sweep", "num_brokers", "20",
+            "--brokers", "20", "--requests", "200", "--days", "2",
+            "--algorithms", "Top-3",
+            "--output", str(output),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert "sweep saved" not in captured.err
+    assert "Total utility" in captured.out
+
+
+def test_verbose_sets_debug_level():
+    main(
+        [
+            "-v",
+            "compare",
+            "--brokers", "20", "--requests", "80", "--days", "2",
+            "--algorithms", "Top-1",
+        ]
+    )
+    assert logging.getLogger("repro").level == logging.DEBUG
+    main(
+        [
+            "compare",
+            "--brokers", "20", "--requests", "80", "--days", "2",
+            "--algorithms", "Top-1",
+        ]
+    )
+    assert logging.getLogger("repro").level == logging.INFO
+
+
+def test_report_on_missing_directory_fails_cleanly(tmp_path):
+    with pytest.raises(FileNotFoundError, match="telemetry directory"):
+        main(["report", str(tmp_path / "missing")])
