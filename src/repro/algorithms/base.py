@@ -27,6 +27,14 @@ class Matcher(ABC):
     #: Human-readable algorithm name used in reports and figures.
     name: str = "matcher"
 
+    #: Whether each batch assignment is one-to-one on the broker side.
+    #: Assignment-style matchers (KM, Greedy, AN, LACB, Oracle) match each
+    #: broker at most once per batch; recommenders (Top-K, RR, CTop-K) may
+    #: legitimately send several of a batch's requests to the same broker.
+    #: Consumed by :class:`repro.check.hook.CheckHook` to decide whether
+    #: the broker-matched-at-most-once invariant applies.
+    one_to_one: bool = False
+
     @abstractmethod
     def begin_day(self, day: int, contexts: np.ndarray) -> None:
         """Observe the day's broker working-status contexts."""

@@ -21,6 +21,7 @@ class GreedyBatchMatcher(Matcher):
     """Capacity-oblivious greedy matching per batch."""
 
     name = "Greedy"
+    one_to_one = True
 
     def begin_day(self, day: int, contexts: np.ndarray) -> None:
         """Greedy is stateless across days."""

@@ -27,6 +27,7 @@ class BatchKMMatcher(Matcher):
     """
 
     name = "KM"
+    one_to_one = True
 
     def __init__(self, backend: str = "repro", pad_square: bool = False) -> None:
         self.backend = backend

@@ -38,6 +38,8 @@ class LACBMatcher(Matcher):
             function's time axis; inferred online when omitted).
     """
 
+    one_to_one = True
+
     def __init__(
         self,
         context_dim: int,

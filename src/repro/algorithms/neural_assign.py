@@ -30,6 +30,7 @@ class NeuralUCBAssignment(Matcher):
     """
 
     name = "AN"
+    one_to_one = True
 
     def __init__(
         self,

@@ -32,6 +32,7 @@ class OracleCapacityMatcher(Matcher):
     """
 
     name = "Oracle"
+    one_to_one = True
 
     def __init__(
         self,

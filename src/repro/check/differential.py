@@ -1,0 +1,144 @@
+"""Differential oracles: independent implementations must agree.
+
+Each ``assert_*`` function cross-validates two or more routes to the same
+answer on one concrete instance and raises ``AssertionError`` with a
+replayable description on disagreement.  They are the check functions the
+:mod:`repro.check.property` harness drives over randomized instances, and
+they are equally usable on a single hand-built instance in a regression
+test.
+
+The agreements checked:
+
+* ``repro`` vs ``scipy`` (vs ``auction`` / min-cost-flow where their
+  preconditions hold): equal optimal totals, structurally valid matchings.
+  Totals — not pair sets — are compared: optima are frequently non-unique
+  (ties), and the solvers legitimately differ on zero-weight pairs (the
+  auction backend drops them; the Hungarian backend reports them).
+* ``pad_square=True`` vs the rectangular solve: Sec. VI-B's dummy-vertex
+  squaring is a pure running-time experiment and must not change results.
+* CBS pruning vs the unpruned instance (Theorem 2): equal optimal totals.
+* ``candidate_broker_selection`` vs brute-force ``np.sort`` top-k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import candidate_broker_selection
+from repro.matching.hungarian import solve_assignment
+from repro.matching.validation import assert_valid_matching
+
+#: Base absolute tolerance when comparing exact solvers.
+EXACT_ATOL = 1e-8
+
+#: The auction backend's advertised relative optimality tolerance.
+AUCTION_RTOL = 1e-9
+
+
+def _scale(weights: np.ndarray) -> float:
+    return float(np.max(np.abs(weights))) if weights.size else 1.0
+
+
+def assert_backends_agree(weights: np.ndarray) -> None:
+    """All applicable matching backends agree on the optimal total weight.
+
+    ``repro`` and ``scipy`` always run; ``auction`` and the min-cost-flow
+    reduction additionally run when the instance is non-negative (their
+    documented scope).  Every result is structurally validated against the
+    weight matrix.
+    """
+    weights = np.asarray(weights, dtype=float)
+    atol = EXACT_ATOL * max(1.0, _scale(weights))
+
+    reference = solve_assignment(weights, maximize=True, backend="scipy")
+    assert_valid_matching(reference, weights, atol=atol)
+    totals = {"scipy": reference.total_weight}
+
+    repro = solve_assignment(weights, maximize=True, backend="repro")
+    assert_valid_matching(repro, weights, atol=atol)
+    totals["repro"] = repro.total_weight
+
+    non_negative = weights.size == 0 or float(weights.min()) >= 0.0
+    if non_negative:
+        auction = solve_assignment(weights, maximize=True, backend="auction")
+        assert_valid_matching(auction, weights, atol=atol)
+        totals["auction"] = auction.total_weight
+        from repro.matching.flow import min_cost_flow_assignment
+
+        flow = min_cost_flow_assignment(weights)
+        assert_valid_matching(flow, weights, atol=atol)
+        totals["flow"] = flow.total_weight
+
+    reference_total = totals["scipy"]
+    auction_atol = atol + AUCTION_RTOL * _scale(weights) * max(weights.shape[0], 1)
+    for backend, total in totals.items():
+        tolerance = auction_atol if backend == "auction" else atol
+        if abs(total - reference_total) > tolerance:
+            raise AssertionError(
+                f"backend {backend!r} total {total!r} != scipy total "
+                f"{reference_total!r} on shape {weights.shape}:\n{weights!r}"
+            )
+
+
+def assert_pad_square_agrees(weights: np.ndarray, backend: str = "repro") -> None:
+    """Sec. VI-B square padding returns the same total as the rectangular solve."""
+    weights = np.asarray(weights, dtype=float)
+    atol = EXACT_ATOL * max(1.0, _scale(weights))
+    rectangular = solve_assignment(weights, maximize=True, backend=backend)
+    squared = solve_assignment(
+        weights, maximize=True, backend=backend, pad_square=True
+    )
+    assert_valid_matching(squared, weights, atol=atol)
+    if abs(rectangular.total_weight - squared.total_weight) > atol:
+        raise AssertionError(
+            f"pad_square changed the optimal total on shape {weights.shape}: "
+            f"rectangular {rectangular.total_weight!r} vs "
+            f"square {squared.total_weight!r}\n{weights!r}"
+        )
+
+
+def assert_cbs_preserves(weights: np.ndarray, k: int | None = None, seed: int = 0) -> None:
+    """Theorem 2: pruning columns to the CBS candidate union keeps the optimum.
+
+    Args:
+        weights: ``(n_rows, n_cols)`` utility matrix.
+        k: per-row candidate size (defaults to ``n_rows``, Corollary 1).
+        seed: CBS pivot randomness (pruning is randomized; the theorem must
+            hold for every pivot sequence).
+    """
+    from repro.core.selection import select_candidate_brokers
+
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape[0] == 0 or weights.shape[1] == 0:
+        return
+    k = weights.shape[0] if k is None else k
+    columns = select_candidate_brokers(weights, k, np.random.default_rng(seed))
+    full = solve_assignment(weights, maximize=True, backend="scipy")
+    pruned = solve_assignment(weights[:, columns], maximize=True, backend="scipy")
+    atol = EXACT_ATOL * max(1.0, _scale(weights))
+    if pruned.total_weight < full.total_weight - atol:
+        raise AssertionError(
+            f"CBS pruning lost weight on shape {weights.shape}: kept "
+            f"{columns.size}/{weights.shape[1]} columns, optimum dropped "
+            f"{full.total_weight!r} -> {pruned.total_weight!r}\n{weights!r}"
+        )
+
+
+def assert_topk_matches_bruteforce(row: np.ndarray, k: int, seed: int = 0) -> None:
+    """``candidate_broker_selection`` returns exactly a top-``k`` value multiset."""
+    row = np.asarray(row, dtype=float)
+    selected = candidate_broker_selection(row, k, np.random.default_rng(seed))
+    expected_size = min(max(k, 0), row.size)
+    if selected.size != expected_size:
+        raise AssertionError(
+            f"top-{k} of {row.size} values returned {selected.size} indices: "
+            f"{selected!r} on {row!r}"
+        )
+    if np.unique(selected).size != selected.size:
+        raise AssertionError(f"duplicate indices in top-{k} selection: {selected!r}")
+    got = np.sort(row[selected])[::-1]
+    brute = np.sort(row)[::-1][:expected_size]
+    if not np.array_equal(got, brute):
+        raise AssertionError(
+            f"top-{k} values {got!r} differ from brute force {brute!r} on {row!r}"
+        )

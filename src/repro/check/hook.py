@@ -1,0 +1,121 @@
+"""CheckHook: runtime invariant enforcement wired into the day-loop engine.
+
+:class:`~repro.engine.loop.DayLoopEngine` attaches this hook automatically
+whenever :func:`repro.check.runtime.current` is active (mirroring the
+telemetry auto-attach), so ``--check`` / ``REPRO_CHECK=1`` runs get
+per-batch feasibility and end-of-day accounting checks on every entry
+point without caller wiring.
+
+The hook is an *observer*: it never mutates the platform, the matcher, or
+any event payload, and it consumes no randomness — enabling checks cannot
+change a run's assignments (the bit-identical guarantee the test suite
+enforces).  The matcher's internal assigner, when present, is discovered
+by duck typing (``matcher.assigner`` exposing ``capacities`` /
+``workloads``) rather than by importing concrete matcher classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.check import invariants
+from repro.check.runtime import CheckState, current
+from repro.engine.hooks import RunHook
+from repro.engine.loop import BatchAssignedEvent, DayEndEvent, DayStartEvent, RunContext
+from repro.obs import telemetry as obs
+
+
+def _duck_assigner(matcher) -> object | None:
+    """The matcher's capacity-tracking assigner, when it exposes one."""
+    assigner = getattr(matcher, "assigner", None)
+    if assigner is None:
+        return None
+    if hasattr(assigner, "capacities") and hasattr(assigner, "workloads"):
+        return assigner
+    return None
+
+
+class CheckHook(RunHook):
+    """Run the engine-level invariants against every lifecycle event.
+
+    Args:
+        state: where violations are booked; defaults to the process-wide
+            active state at run start (falling back to a fresh collect-mode
+            state, for direct construction in tests).
+    """
+
+    def __init__(self, state: CheckState | None = None) -> None:
+        self._state = state
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_run_start(self, context: RunContext) -> None:
+        self.state = self._state or current() or CheckState(mode="collect")
+        self._algorithm = getattr(context.matcher, "name", None)
+        self._one_to_one = bool(getattr(context.matcher, "one_to_one", False))
+        self._assigner = _duck_assigner(context.matcher)
+        # Appeals re-queue some served requests, so the platform's realized
+        # workloads legitimately diverge from the booked pairs; skip the
+        # outcome comparison in that regime.
+        self._appeals = float(getattr(context.platform, "appeal_rate", 0.0)) > 0.0
+        self._booked = np.zeros(context.num_brokers, dtype=int)
+        self._capacities: np.ndarray | None = None
+
+    def on_day_start(self, event: DayStartEvent) -> None:
+        self._booked[:] = 0
+        assigner = self._assigner
+        # Snapshot the day's capacities: capacity feasibility is judged
+        # against what the assigner installed at begin_day.
+        self._capacities = (
+            np.array(assigner.capacities, dtype=float, copy=True)
+            if assigner is not None
+            else None
+        )
+
+    def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
+        state = self.state
+        with obs.span("check.batch"):
+            state.record_all(
+                invariants.check_batch_assignment(
+                    event.assignment,
+                    event.request_ids,
+                    event.utilities,
+                    one_to_one=self._one_to_one,
+                    algorithm=self._algorithm,
+                )
+            )
+            state.count()
+            if self._capacities is not None:
+                state.record_all(
+                    invariants.check_capacity_feasibility(
+                        event.assignment,
+                        self._capacities,
+                        self._booked,
+                        algorithm=self._algorithm,
+                    )
+                )
+                state.count()
+        # Book the batch after checking it (checks see pre-batch state).
+        for pair in event.assignment.pairs:
+            if 0 <= pair.broker_id < self._booked.size:
+                self._booked[pair.broker_id] += 1
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        state = self.state
+        assigner = self._assigner
+        with obs.span("check.day"):
+            state.record_all(
+                invariants.check_day_accounting(
+                    event.day,
+                    self._booked,
+                    outcome_workloads=(
+                        None if self._appeals else event.outcome.workloads
+                    ),
+                    assigner_workloads=(
+                        assigner.workloads if assigner is not None else None
+                    ),
+                    algorithm=self._algorithm,
+                )
+            )
+            state.count()

@@ -7,7 +7,14 @@ Subcommands:
 - ``city``     — the Fig. 9-11 evaluation on a real-like city;
 - ``motivate`` — the Sec. II measurement study (Figs. 2-4);
 - ``timing``   — the per-batch matching-cost profile (the CBS speedup);
-- ``report``   — render the telemetry a ``--telemetry DIR`` run exported.
+- ``report``   — render the telemetry a ``--telemetry DIR`` run exported;
+- ``check``    — the correctness self-diagnostic: runtime invariants on a
+  small simulated city plus the differential property suites
+  (see ``docs/correctness.md``).
+
+``compare``, ``sweep`` and ``city`` additionally accept ``--check``, which
+runs them with runtime invariant enforcement on (aborting on the first
+violation); checks observe only and never change results.
 
 Output discipline: result tables go to **stdout**; everything diagnostic
 (progress, destinations, warnings) goes through :mod:`repro.obs.logging`
@@ -72,6 +79,15 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="collect metrics/spans during the run and export them to DIR "
         "(view with `repro report DIR`)",
+    )
+
+
+def _add_check_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce runtime invariants during the run (abort on the first "
+        "violation); observation only — results are unchanged",
     )
 
 
@@ -241,6 +257,49 @@ def _cmd_report(args: argparse.Namespace) -> None:
     print(render_report(args.dir))
 
 
+def _cmd_check(args: argparse.Namespace) -> None:
+    import json
+    import os
+
+    from repro.check import run_self_check
+
+    report = run_self_check(
+        num_brokers=args.brokers,
+        num_requests=args.requests,
+        num_days=args.days,
+        seed=args.seed,
+        instance_seed=args.instance_seed,
+        algorithms=tuple(args.algorithms),
+        property_cases=args.cases,
+        property_seed=args.property_seed,
+    )
+    print(
+        format_table(
+            ["phase", "checks"],
+            [
+                ("invariants", report.invariants_checked),
+                ("solver oracle", report.solver_checks),
+                ("property cases", report.property_cases),
+            ],
+            title=f"Self-check on |B|={args.brokers} |R|={args.requests} "
+            f"days={args.days} ({', '.join(report.algorithms)})",
+        )
+    )
+    if args.report:
+        os.makedirs(args.report, exist_ok=True)
+        path = os.path.join(args.report, "check_report.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        log.info("check report written to %s", path)
+    if report.ok:
+        print("OK: all invariants and properties hold")
+    else:
+        print(f"FAILED: {len(report.violations)} violation(s)")
+        for violation in report.violations:
+            print(f"  - {violation}")
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -271,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+", default=list(ALGORITHM_NAMES), choices=ALGORITHM_NAMES
     )
     _add_telemetry_argument(compare)
+    _add_check_argument(compare)
     compare.set_defaults(func=_cmd_compare)
 
     sweep_cmd = sub.add_parser("sweep", help="one Fig. 8 column")
@@ -284,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--chart", action="store_true", help="render an ASCII chart")
     sweep_cmd.add_argument("--output", help="save the sweep as JSON")
     _add_telemetry_argument(sweep_cmd)
+    _add_check_argument(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     city = sub.add_parser("city", help="Fig. 9-11 evaluation on a real-like city")
@@ -293,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(city)
     city.add_argument("--chart", action="store_true", help="render an ASCII histogram")
     _add_telemetry_argument(city)
+    _add_check_argument(city)
     city.set_defaults(func=_cmd_city)
 
     motivate = sub.add_parser("motivate", help="the Sec. II measurement study")
@@ -320,6 +382,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("dir", help="telemetry directory written by --telemetry")
     report.set_defaults(func=_cmd_report)
+
+    check = sub.add_parser(
+        "check", help="correctness self-diagnostic (invariants + property suites)"
+    )
+    check.add_argument("--brokers", type=int, default=25, help="number of brokers |B|")
+    check.add_argument("--requests", type=int, default=250, help="number of requests |R|")
+    check.add_argument("--days", type=int, default=3, help="covering days")
+    check.add_argument("--seed", type=int, default=7, help="matcher seed")
+    check.add_argument("--instance-seed", type=int, default=1, help="city generation seed")
+    check.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["KM", "LACB", "LACB-Opt"],
+        choices=ALGORITHM_NAMES,
+        help="algorithms driven through the invariant phase",
+    )
+    check.add_argument(
+        "--cases", type=int, default=200, help="randomized cases per property suite"
+    )
+    check.add_argument(
+        "--property-seed", type=int, default=0, help="base seed of the property harness"
+    )
+    check.add_argument(
+        "--report",
+        metavar="DIR",
+        default=None,
+        help="write a JSON violation report to DIR/check_report.json",
+    )
+    _add_telemetry_argument(check)
+    check.set_defaults(func=_cmd_check)
 
     return parser
 
@@ -355,11 +447,41 @@ def main(argv: list[str] | None = None) -> None:
     # The sweep factor values arrive as floats; integer factors need casting.
     if getattr(args, "command", None) == "sweep" and args.factor != "imbalance":
         args.values = [int(v) for v in args.values]
+    if getattr(args, "check", False):
+        _run_with_checks(args)
+    else:
+        _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> None:
     telemetry_dir = getattr(args, "telemetry", None)
     if telemetry_dir:
         _run_with_telemetry(args, telemetry_dir)
     else:
         args.func(args)
+
+
+def _run_with_checks(args: argparse.Namespace) -> None:
+    """Run one command with runtime invariant enforcement on.
+
+    The environment flag — not just the in-process switchboard — is set so
+    ``--jobs N`` worker processes come up with checks enabled too.
+    """
+    import os
+
+    from repro.check import runtime as check_runtime
+
+    previous = os.environ.get(check_runtime.ENV_FLAG)
+    os.environ[check_runtime.ENV_FLAG] = "1"
+    check_runtime.enable()
+    try:
+        _dispatch(args)
+    finally:
+        check_runtime.disable()
+        if previous is None:
+            os.environ.pop(check_runtime.ENV_FLAG, None)
+        else:
+            os.environ[check_runtime.ENV_FLAG] = previous
 
 
 if __name__ == "__main__":

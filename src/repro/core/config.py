@@ -122,6 +122,11 @@ class AssignmentConfig:
             default — the rectangular solver finds the identical matching
             faster, and the square mode exists for the paper's running-time
             comparisons.
+        check: enable this assigner's runtime solver checks (sampled KM
+            optimality vs the SciPy oracle, CBS preservation per Theorem 2)
+            even when process-wide checking (:mod:`repro.check.runtime`) is
+            off.  Violations raise :class:`repro.check.InvariantViolationError`.
+            Checks observe only — they never change assignment results.
     """
 
     learning_rate: float = 0.25
@@ -131,6 +136,7 @@ class AssignmentConfig:
     use_cbs: bool = False
     matching_backend: str = "repro"
     matching_pad_square: bool = False
+    check: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.learning_rate <= 1.0:

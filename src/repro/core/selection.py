@@ -33,6 +33,11 @@ def candidate_broker_selection(
     utilities = np.asarray(utilities, dtype=float)
     if utilities.ndim != 1:
         raise ValueError(f"expected a 1-D utility row, got shape {utilities.shape}")
+    if not np.all(np.isfinite(utilities)):
+        # A NaN pivot makes all three partitions empty (every comparison is
+        # False), so the selection loop would never shrink its candidate
+        # set; infinities break the top-k ordering contract the same way.
+        raise ValueError("utilities must be finite (got NaN or infinity)")
     if k <= 0:
         return np.empty(0, dtype=int)
     candidates = np.arange(utilities.size)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check import invariants as check_invariants
+from repro.check import runtime as check_runtime
 from repro.core.config import AssignmentConfig
 from repro.core.selection import select_candidate_brokers
 from repro.core.types import AssignedPair, Assignment
@@ -67,10 +69,17 @@ class ValueFunctionGuidedAssigner:
         )
         self.batches_per_day = batches_per_day
         self._max_batch_seen = 0
+        # Inferred time axis: while batches_per_day is unknown, the day's
+        # batch count is only established at end_day, where it is frozen
+        # once and the first day's buffered TD updates are replayed on the
+        # settled axis (see _time_fraction).
+        self._frozen_batches: int | None = None
+        self._pending_td: list[tuple[int, float, float]] = []
         self.capacities = np.zeros(num_brokers)
         self.workloads = np.zeros(num_brokers, dtype=int)
         self._capacity_hits = np.zeros(num_brokers)
         self._days_seen = 0
+        self._check_state = check_runtime.CheckState() if config.check else None
 
     # ------------------------------------------------------------------
     # Day lifecycle
@@ -88,16 +97,34 @@ class ValueFunctionGuidedAssigner:
     def end_day(self) -> None:
         """Book capacity hits into ``f_b`` and settle the value function.
 
-        Two pieces of end-of-day bookkeeping:
+        Three pieces of end-of-day bookkeeping:
 
-        1. The capacity-hit frequency ``f_b`` gains today's observation.
-        2. *Terminal* TD updates: a broker's unused residual capacity
+        1. When ``batches_per_day`` is inferred, the first day settles the
+           time axis: the denominator is frozen at the day's observed batch
+           count and the day's buffered TD updates are replayed on it.
+           Updating eagerly with the still-growing count would put batch 0
+           at ``0/1``, batch 1 at ``1/2``, … — a drifting axis where every
+           in-day update bootstraps from the terminal fraction ``1.0``.
+        2. The capacity-hit frequency ``f_b`` gains today's observation.
+        3. *Terminal* TD updates: a broker's unused residual capacity
            expires worthless at day end.  Without this, the TD chain of
            Eq. 14 converges to ``V(cr) = u + gamma V(cr - 1)`` — as if
            reserved capacity always converts later — and the Eq. 15
            refinement then overcharges every edge by a full average
            utility, leaving top brokers systematically under-used.
         """
+        if self.batches_per_day is None and self._frozen_batches is None:
+            self._frozen_batches = max(self._max_batch_seen, 1)
+            if self.config.use_value_function:
+                for batch, residual, raw_utility in self._pending_td:
+                    self.value_function.td_update(
+                        self._time_fraction(batch),
+                        residual,
+                        raw_utility,
+                        self._time_fraction(batch + 1),
+                        residual - 1.0,
+                    )
+            self._pending_td.clear()
         self._capacity_hits += self.workloads >= np.maximum(self.capacities, 1.0)
         self._days_seen += 1
         if self.config.use_value_function:
@@ -163,12 +190,15 @@ class ValueFunctionGuidedAssigner:
             return assignment
 
         candidate_utilities = utilities[:, available]
+        precbs_utilities = candidate_utilities
+        kept_columns: np.ndarray | None = None
         if self.config.use_cbs and available.size > request_ids.size:
             before = available.size
             with obs.span("matching.cbs_prune"):
                 local = select_candidate_brokers(
                     candidate_utilities, int(request_ids.size), self.rng
                 )
+            kept_columns = local
             available = available[local]
             candidate_utilities = candidate_utilities[:, local]
             pruned_ratio = 1.0 - available.size / before
@@ -187,7 +217,12 @@ class ValueFunctionGuidedAssigner:
             backend=self.config.matching_backend,
             pad_square=self.config.matching_pad_square,
         )
+        self._oracle_checks(day, batch, precbs_utilities, kept_columns, refined, match)
 
+        # While the time axis is still unsettled (first day with inferred
+        # batches_per_day), TD updates are buffered and replayed at end_day
+        # on the frozen denominator.
+        defer_td = self.batches_per_day is None and self._frozen_batches is None
         with obs.span("vfga.td_update"):
             for row, col in match.pairs:
                 broker = int(available[col])
@@ -195,9 +230,12 @@ class ValueFunctionGuidedAssigner:
                 residual = float(self.capacities[broker] - self.workloads[broker])
                 self.workloads[broker] += 1
                 if self.config.use_value_function:
-                    self.value_function.td_update(
-                        time_fraction, residual, raw_utility, next_fraction, residual - 1.0
-                    )
+                    if defer_td:
+                        self._pending_td.append((batch, residual, raw_utility))
+                    else:
+                        self.value_function.td_update(
+                            time_fraction, residual, raw_utility, next_fraction, residual - 1.0
+                        )
                 assignment.pairs.append(
                     AssignedPair(int(request_ids[row]), broker, raw_utility)
                 )
@@ -210,9 +248,49 @@ class ValueFunctionGuidedAssigner:
     MIN_FREQUENCY_DAYS = 3
 
     def _time_fraction(self, batch: int) -> float:
-        """Position of a batch within the day on the value function's axis."""
-        denominator = self.batches_per_day or max(self._max_batch_seen, 1)
+        """Position of a batch within the day on the value function's axis.
+
+        With an inferred batch count the denominator is frozen at the end
+        of the first day (see :meth:`end_day`); until then the live count
+        is only a provisional reading used by :meth:`_refine` (inactive
+        that early anyway) — TD updates never consume it.
+        """
+        denominator = (
+            self.batches_per_day or self._frozen_batches or max(self._max_batch_seen, 1)
+        )
         return batch / denominator
+
+    def _oracle_checks(
+        self,
+        day: int,
+        batch: int,
+        precbs_utilities: np.ndarray,
+        kept_columns: np.ndarray | None,
+        refined: np.ndarray,
+        match,
+    ) -> None:
+        """Sampled solver-oracle spot checks (KM optimality, Theorem 2).
+
+        Pure observation: runs only while checks are enabled (process-wide
+        or via ``AssignmentConfig(check=True)``), samples deterministically
+        off a counter, and consumes no randomness — results are bit-for-bit
+        identical with checks on or off.
+        """
+        state = check_runtime.current() or self._check_state
+        if state is None or not state.sample_solver():
+            return
+        with obs.span("check.solver_oracle"):
+            state.record_all(
+                check_invariants.check_km_optimality(refined, match, day=day, batch=batch)
+            )
+            state.count()
+            if kept_columns is not None:
+                state.record_all(
+                    check_invariants.check_cbs_preservation(
+                        precbs_utilities, kept_columns, day=day, batch=batch
+                    )
+                )
+                state.count()
 
     def _refine(
         self, utilities: np.ndarray, broker_ids: np.ndarray, time_fraction: float

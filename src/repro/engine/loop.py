@@ -22,7 +22,10 @@ timing, logging and progress reporting compose instead of being hard-coded
 into one runner function.  While :mod:`repro.obs` telemetry is active
 (:func:`repro.obs.telemetry.enable`), the engine additionally attaches a
 :class:`~repro.obs.hook.TelemetryHook` so metrics and spans ride along with
-every run without caller wiring.
+every run without caller wiring; likewise, while runtime invariant checks
+are active (:func:`repro.check.runtime.enable` / ``REPRO_CHECK=1``) it
+attaches a :class:`~repro.check.hook.CheckHook` enforcing per-batch
+feasibility and end-of-day accounting invariants.
 
 Timing seam
 -----------
@@ -157,6 +160,7 @@ class DayLoopEngine:
         """
         hooks = tuple(hooks)
         hooks += _telemetry_hooks(hooks)
+        hooks += _check_hooks(hooks)
         platform.reset()
         context = RunContext(
             platform=platform,
@@ -231,3 +235,21 @@ def _telemetry_hooks(hooks: tuple) -> tuple:
     if any(isinstance(hook, TelemetryHook) for hook in hooks):
         return ()
     return (TelemetryHook(telemetry),)
+
+
+def _check_hooks(hooks: tuple) -> tuple:
+    """The auto-attached invariant hook, if runtime checks are on.
+
+    Same lazy-import pattern as :func:`_telemetry_hooks`:
+    :mod:`repro.check.hook` depends on this module's event types.  With
+    checks off (the default) the cost is one ``sys.modules`` lookup per run.
+    """
+    from repro.check.hook import CheckHook
+    from repro.check.runtime import current
+
+    state = current()
+    if state is None:
+        return ()
+    if any(isinstance(hook, CheckHook) for hook in hooks):
+        return ()
+    return (CheckHook(state),)

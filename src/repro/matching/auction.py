@@ -14,9 +14,10 @@ coarse round and never be corrected downward.  Rectangular inputs are
 therefore squared up first: the column side is pruned to the union of
 each row's top-``n_rows`` candidates (lossless by Theorem 2 of the
 paper), and zero-weight dummy rows absorb the remaining columns.
-Zero-weight matches are dropped from the report, so the result is
-interchangeable with :func:`repro.matching.hungarian.solve_assignment`
-on such inputs.
+Zero-weight matches are dropped from the report (they add nothing to the
+objective), so against :func:`repro.matching.hungarian.solve_assignment`
+— which *does* report genuine zero-weight pairs — agreement is on the
+total weight, not on the literal pair sets.
 
 Used as an alternative per-batch backend and as another cross-check
 oracle in the property tests.

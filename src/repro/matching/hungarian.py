@@ -138,7 +138,9 @@ def solve_assignment(
 
     Returns:
         A :class:`MatchResult` with matched real pairs and the total weight.
-        Pairs whose weight is zero (dummy-equivalent) are omitted.
+        Dummy matches (a vertex paired with its private zero-weight partner)
+        are omitted; a genuine zero-weight edge of the input matrix is a
+        real pair and is reported when the solver selects it.
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {_BACKENDS}")
@@ -193,11 +195,15 @@ def _solve_assignment(
     else:
         col_of_row = hungarian(cost)
 
+    # Real columns occupy the block [0, wc) in both padded layouts; any
+    # column >= wc is a dummy partner.  The block index — not the edge
+    # weight — is what distinguishes a genuine zero-utility match from
+    # staying unmatched.
     pairs = []
     total = 0.0
     for row in range(wr):
         col = int(col_of_row[row])
-        if col < wc and (not maximize or working[row, col] != 0.0):
+        if col < wc:
             pair = (col, row) if transposed else (row, col)
             pairs.append(pair)
             total += float(working[row, col])

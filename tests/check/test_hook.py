@@ -1,0 +1,157 @@
+"""CheckHook: engine integration, auto-attach, violation detection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_matcher
+from repro.algorithms.base import Matcher
+from repro.check import runtime
+from repro.check.hook import CheckHook
+from repro.check.runtime import CheckState, InvariantViolationError
+from repro.core.types import AssignedPair, Assignment
+from repro.engine.loop import DayLoopEngine
+from repro.simulation import SyntheticConfig, generate_city
+
+
+@pytest.fixture(autouse=True)
+def _checks_off():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def platform():
+    return generate_city(
+        SyntheticConfig(num_brokers=20, num_requests=150, num_days=2, seed=5)
+    )
+
+
+@pytest.mark.parametrize("name", ["Top-3", "KM", "LACB-Opt"])
+def test_clean_runs_produce_no_violations(platform, name):
+    state = CheckState(mode="collect", solver_sample_every=4)
+    hook = CheckHook(state)
+    DayLoopEngine().run(platform, make_matcher(name, platform, seed=7), hooks=[hook])
+    assert state.violations == []
+    assert state.invariants_checked > 0
+
+
+def test_engine_auto_attaches_hook_while_enabled(platform):
+    state = runtime.enable(CheckState(mode="collect"))
+    DayLoopEngine().run(platform, make_matcher("KM", platform, seed=7))
+    assert state.invariants_checked > 0
+    assert state.violations == []
+
+
+def test_engine_does_not_attach_without_enablement(platform):
+    # No state anywhere: the run must not fabricate one (nothing to assert
+    # on directly, but the run must also not fail).
+    DayLoopEngine().run(platform, make_matcher("Top-1", platform, seed=7))
+    assert runtime.current() is None
+
+
+def test_no_double_attach_when_hook_passed_explicitly(platform):
+    # Baseline: explicit hook only, checks globally off.
+    solo = CheckState(mode="collect", solver_sample_every=10**9)
+    DayLoopEngine().run(
+        platform, make_matcher("Top-3", platform, seed=7), hooks=[CheckHook(solo)]
+    )
+    # Same run with checks globally on AND the hook passed explicitly: the
+    # engine must not attach a second hook, so the count stays identical.
+    both = runtime.enable(CheckState(mode="collect", solver_sample_every=10**9))
+    DayLoopEngine().run(
+        platform, make_matcher("Top-3", platform, seed=7), hooks=[CheckHook(both)]
+    )
+    assert both.invariants_checked == solo.invariants_checked
+
+
+class _BrokerPiler(Matcher):
+    """Deliberately broken one-to-one matcher: piles everyone on broker 0."""
+
+    name = "Piler"
+    one_to_one = True
+
+    def begin_day(self, day, contexts):
+        pass
+
+    def assign_batch(self, day, batch, request_ids, utilities):
+        pairs = [
+            AssignedPair(int(rid), 0, float(utilities[row, 0]))
+            for row, rid in enumerate(request_ids)
+        ]
+        return Assignment(day=day, batch=batch, pairs=pairs)
+
+
+class _UtilityFudger(Matcher):
+    """Deliberately broken matcher: reports inflated pair utilities."""
+
+    name = "Fudger"
+
+    def begin_day(self, day, contexts):
+        pass
+
+    def assign_batch(self, day, batch, request_ids, utilities):
+        pairs = [AssignedPair(int(request_ids[0]), 0, float(utilities[0, 0]) + 1.0)]
+        return Assignment(day=day, batch=batch, pairs=pairs)
+
+
+@pytest.fixture
+def wide_batch_platform():
+    # imbalance=0.3 -> batch_size 6: batches hold several requests, so a
+    # matcher that reuses a broker within a batch can actually be caught.
+    return generate_city(
+        SyntheticConfig(
+            num_brokers=20, num_requests=150, num_days=2, seed=5, imbalance=0.3
+        )
+    )
+
+
+def test_duplicate_broker_flagged_for_one_to_one(wide_batch_platform):
+    state = CheckState(mode="collect")
+    DayLoopEngine().run(wide_batch_platform, _BrokerPiler(), hooks=[CheckHook(state)])
+    assert "batch.duplicate_broker" in {v.invariant for v in state.violations}
+
+
+def test_utility_mismatch_flagged(platform):
+    state = CheckState(mode="collect")
+    DayLoopEngine().run(platform, _UtilityFudger(), hooks=[CheckHook(state)])
+    assert "batch.utility_mismatch" in {v.invariant for v in state.violations}
+
+
+def test_raise_mode_aborts_run(wide_batch_platform):
+    state = CheckState(mode="raise")
+    with pytest.raises(InvariantViolationError):
+        DayLoopEngine().run(
+            wide_batch_platform, _BrokerPiler(), hooks=[CheckHook(state)]
+        )
+
+
+def test_checks_do_not_perturb_results(platform):
+    """Acceptance: checks observe, never perturb — assignments bit-identical."""
+    from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
+
+    config = SyntheticConfig(num_brokers=20, num_requests=200, num_days=2, seed=9)
+
+    def run_all():
+        specs = [
+            RunSpec(
+                platform=PlatformSpec.synthetic(config),
+                matcher=MatcherSpec(name, seed=7),
+                store_assignments=True,
+            )
+            for name in ("Top-3", "KM", "LACB-Opt")
+        ]
+        return run_many(specs)
+
+    baseline = run_all()
+    state = CheckState(mode="collect", solver_sample_every=1)
+    with runtime.use(state):
+        checked = run_all()
+    assert state.violations == []
+    assert state.solver_checks > 0
+    for base, chk in zip(baseline, checked):
+        assert base.total_realized_utility == chk.total_realized_utility
+        for left, right in zip(base.assignments, chk.assignments):
+            assert [(p.request_id, p.broker_id, p.utility) for p in left.pairs] == [
+                (p.request_id, p.broker_id, p.utility) for p in right.pairs
+            ]

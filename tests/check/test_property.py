@@ -1,0 +1,135 @@
+"""repro.check.property: the mini-harness itself (generators, shrinking)."""
+
+import numpy as np
+import pytest
+
+from repro.check import property as prop
+from repro.check.property import PropertyFailure, case_rng, run_property
+
+
+def test_passing_property_runs_all_cases():
+    seen = []
+    count = run_property(
+        lambda case: seen.append(case),
+        lambda rng: float(rng.random()),
+        num_cases=25,
+        seed=3,
+    )
+    assert count == 25
+    assert len(seen) == 25
+
+
+def test_cases_are_deterministic_per_seed():
+    draw = lambda rng: float(rng.random())
+    first, second = [], []
+    run_property(first.append, draw, num_cases=10, seed=42)
+    run_property(second.append, draw, num_cases=10, seed=42)
+    assert first == second
+    other = []
+    run_property(other.append, draw, num_cases=10, seed=43)
+    assert first != other
+
+
+def test_failure_reports_seed_and_index():
+    def check(value):
+        assert value < 0.9, f"too big: {value}"
+
+    with pytest.raises(PropertyFailure) as excinfo:
+        run_property(check, lambda rng: float(rng.random()), num_cases=500, seed=0)
+    failure = excinfo.value
+    # The reported (seed, index) pair replays the original failing case.
+    replayed = float(case_rng(failure.seed, failure.index).random())
+    assert replayed >= 0.9
+    assert "seed 0" in str(failure)
+
+
+def test_shrinking_reaches_a_minimal_counterexample():
+    # Property: no entry equals 7.  Shrinker: drop elements one at a time.
+    def check(values):
+        assert 7 not in values
+
+    def generate(rng):
+        return list(rng.integers(0, 10, size=8))
+
+    def shrink(values):
+        for index in range(len(values)):
+            yield values[:index] + values[index + 1 :]
+
+    with pytest.raises(PropertyFailure) as excinfo:
+        run_property(check, generate, num_cases=50, seed=1, shrink=shrink)
+    assert excinfo.value.counterexample == [7]
+    assert excinfo.value.shrink_steps > 0
+
+
+def test_shrink_candidates_must_still_fail():
+    # A shrinker that proposes only passing candidates leaves the case as-is.
+    def check(value):
+        assert value != 5
+
+    with pytest.raises(PropertyFailure) as excinfo:
+        run_property(
+            check,
+            lambda rng: 5,
+            num_cases=1,
+            seed=0,
+            shrink=lambda value: [0, 1, 2],
+        )
+    assert excinfo.value.counterexample == 5
+    assert excinfo.value.shrink_steps == 0
+
+
+def test_shrink_step_budget_respected():
+    calls = []
+
+    def check(value):
+        calls.append(value)
+        assert False
+
+    def shrink(value):
+        while True:  # endless identical candidates
+            yield value - 1
+
+    with pytest.raises(PropertyFailure):
+        run_property(
+            check,
+            lambda rng: 1000,
+            num_cases=1,
+            seed=0,
+            shrink=shrink,
+            max_shrink_steps=10,
+        )
+    # 1 original + at most max_shrink_steps candidate evaluations.
+    assert len(calls) <= 11
+
+
+def test_random_shape_degenerate_and_bounded():
+    shapes = [prop.random_shape(case_rng(0, i)) for i in range(400)]
+    assert any(rows == 0 or cols == 0 for rows, cols in shapes)
+    assert all(rows <= 8 and cols <= 12 for rows, cols in shapes)
+
+
+def test_random_utilities_cover_regimes():
+    matrices = [prop.random_utilities(case_rng(1, i)) for i in range(300)]
+    flat = np.concatenate([m.ravel() for m in matrices if m.size])
+    assert (flat < 0).any(), "negative regime never generated"
+    assert (flat == 0.0).any(), "exact zeros never generated"
+    has_ties = any(
+        m.size > 1 and np.unique(m).size < m.size for m in matrices
+    )
+    assert has_ties, "tie regime never generated"
+
+
+def test_random_utilities_non_negative_mode():
+    for i in range(100):
+        matrix = prop.random_utilities(case_rng(2, i), allow_negative=False)
+        if matrix.size:
+            assert matrix.min() >= 0.0
+
+
+def test_shrink_matrix_candidates_are_smaller_or_simpler():
+    weights = np.array([[1.5, 0.0], [2.25, -3.0]])
+    candidates = list(prop.shrink_matrix(weights))
+    assert any(c.shape == (1, 2) for c in candidates)  # row drops
+    assert any(c.shape == (2, 1) for c in candidates)  # column drops
+    zeroed = [c for c in candidates if c.shape == weights.shape]
+    assert any((c == 0.0).sum() > (weights == 0.0).sum() for c in zeroed)

@@ -1,0 +1,117 @@
+"""repro.check.runtime: switchboard, CheckState policy, env-var activation."""
+
+import numpy as np
+import pytest
+
+from repro.check import runtime
+from repro.check.runtime import (
+    ENV_FLAG,
+    CheckState,
+    InvariantViolationError,
+    Violation,
+)
+
+
+@pytest.fixture(autouse=True)
+def _checks_off():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+def test_disabled_by_default():
+    assert runtime.current() is None
+    assert not runtime.enabled()
+
+
+def test_enable_disable_roundtrip():
+    state = runtime.enable()
+    assert runtime.current() is state
+    assert runtime.enabled()
+    runtime.disable()
+    assert runtime.current() is None
+
+
+def test_use_restores_previous_state():
+    outer = runtime.enable()
+    with runtime.use(CheckState()) as inner:
+        assert runtime.current() is inner
+    assert runtime.current() is outer
+
+
+def test_use_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with runtime.use(CheckState()):
+            raise RuntimeError("boom")
+    assert runtime.current() is None
+
+
+def test_raise_mode_raises_on_first_violation():
+    state = CheckState(mode="raise")
+    with pytest.raises(InvariantViolationError) as excinfo:
+        state.record(Violation("test.inv", "nope", algorithm="KM", day=1, batch=2))
+    assert excinfo.value.violation.invariant == "test.inv"
+    assert "KM" in str(excinfo.value) and "day 1" in str(excinfo.value)
+    assert len(state.violations) == 1
+
+
+def test_invariant_violation_is_an_assertion_error():
+    assert issubclass(InvariantViolationError, AssertionError)
+
+
+def test_collect_mode_accumulates():
+    state = CheckState(mode="collect")
+    state.record(Violation("a", "first"))
+    state.record(Violation("b", "second"))
+    assert [v.invariant for v in state.violations] == ["a", "b"]
+    assert not state.ok
+
+
+def test_invalid_mode_and_sampling_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        CheckState(mode="warn")
+    with pytest.raises(ValueError, match="solver_sample_every"):
+        CheckState(solver_sample_every=0)
+
+
+def test_solver_sampling_counter_based():
+    state = CheckState(solver_sample_every=3)
+    picks = [state.sample_solver() for _ in range(7)]
+    assert picks == [True, False, False, True, False, False, True]
+    assert state.solver_checks == 3
+
+
+def test_first_solve_always_sampled():
+    state = CheckState(solver_sample_every=1000)
+    assert state.sample_solver() is True
+
+
+def test_sampling_consumes_no_randomness():
+    state = CheckState(solver_sample_every=2)
+    rng = np.random.default_rng(0)
+    before = rng.bit_generator.state["state"]["state"]
+    for _ in range(10):
+        state.sample_solver()
+    assert rng.bit_generator.state["state"]["state"] == before
+
+
+def test_env_flag_enables_fresh_process():
+    import os
+    import subprocess
+    import sys
+
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    code = "import repro.check.runtime as r; print(r.enabled())"
+    for env_value, expected in (("1", "True"), ("0", "False"), ("", "False")):
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.path.abspath(src), ENV_FLAG: env_value},
+        )
+        assert result.stdout.strip() == expected, (env_value, result.stderr)
+
+
+def test_violation_to_dict_roundtrip():
+    violation = Violation("x.y", "msg", algorithm="KM", day=3, batch=1)
+    assert Violation(**violation.to_dict()) == violation

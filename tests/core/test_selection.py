@@ -68,3 +68,24 @@ def test_theorem2_cbs_preserves_optimal_value(n_requests, n_brokers, seed):
     chosen = select_candidate_brokers(utilities, n_requests, rng)
     pruned = solve_assignment(utilities[:, chosen])
     assert pruned.total_weight == pytest.approx(full.total_weight)
+
+
+# ----------------------------------------------------------------------
+# Regression: non-finite utilities must raise, not loop forever
+# ----------------------------------------------------------------------
+def test_nan_utilities_raise(rng):
+    """A NaN pivot makes every quickselect partition empty, so the
+    recursion used to spin forever; non-finite input is now rejected."""
+    utilities = np.array([0.3, np.nan, 0.7])
+    with pytest.raises(ValueError, match="finite"):
+        candidate_broker_selection(utilities, 2, rng)
+
+
+def test_infinite_utilities_raise(rng):
+    with pytest.raises(ValueError, match="finite"):
+        candidate_broker_selection(np.array([0.3, np.inf]), 1, rng)
+
+
+def test_nan_utilities_raise_for_union(rng):
+    with pytest.raises(ValueError, match="finite"):
+        select_candidate_brokers(np.array([[0.1, np.nan], [0.2, 0.3]]), 1, rng)

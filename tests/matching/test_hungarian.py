@@ -111,3 +111,33 @@ def test_optimality_against_min_cost_flow(n_rows, n_cols, seed):
     assert_valid_matching(ours, weights)
     greedy = greedy_assignment(weights)
     assert greedy.total_weight <= ours.total_weight + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Regression: zero-weight matched pairs must not be dropped
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["repro", "scipy"])
+def test_zero_weight_pair_is_reported(backend):
+    """A genuine zero-utility edge the solver selects is a real match.
+
+    The dummy-padding filter used to discard any pair with weight 0, which
+    silently unmatched requests whose best broker had exactly zero utility.
+    Dummy columns are now recognised by column index, not by weight.
+    """
+    result = solve_assignment(np.array([[0.0]]), backend=backend)
+    assert result.pairs == [(0, 0)]
+    assert result.total_weight == 0.0
+
+
+@pytest.mark.parametrize("backend", ["repro", "scipy"])
+def test_zero_weight_pair_survives_alongside_negative_column(backend):
+    # The optimum matches row 0 to the zero column (0.0 > -2.0); that pair
+    # must be reported even though its weight equals the dummy padding value.
+    result = solve_assignment(np.array([[0.0, -2.0]]), backend=backend)
+    assert result.pairs == [(0, 0)]
+    assert result.total_weight == 0.0
+
+
+def test_zero_weight_pair_reported_with_pad_square():
+    result = solve_assignment(np.array([[0.0]]), pad_square=True)
+    assert result.pairs == [(0, 0)]

@@ -215,3 +215,54 @@ def test_verbose_sets_debug_level():
 def test_report_on_missing_directory_fails_cleanly(tmp_path):
     with pytest.raises(FileNotFoundError, match="telemetry directory"):
         main(["report", str(tmp_path / "missing")])
+
+
+def test_check_command(capsys):
+    main(
+        [
+            "check",
+            "--brokers", "15", "--requests", "100", "--days", "1",
+            "--algorithms", "KM",
+            "--cases", "10",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "OK: all invariants and properties hold" in out
+    assert "invariants" in out and "property cases" in out
+
+
+def test_check_command_writes_report(capsys, tmp_path):
+    report_dir = tmp_path / "check-report"
+    main(
+        [
+            "check",
+            "--brokers", "15", "--requests", "80", "--days", "1",
+            "--algorithms", "KM",
+            "--cases", "5",
+            "--report", str(report_dir),
+        ]
+    )
+    payload = json.loads((report_dir / "check_report.json").read_text())
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+    assert payload["property_cases"] == 20  # 4 suites x 5 cases
+
+
+def test_compare_with_check_flag(capsys):
+    import os
+
+    from repro.check import runtime
+    from repro.check.runtime import ENV_FLAG
+
+    main(
+        [
+            "compare",
+            "--brokers", "20", "--requests", "120", "--days", "1",
+            "--algorithms", "KM",
+            "--check",
+        ]
+    )
+    assert "KM" in capsys.readouterr().out
+    # The flag must not leak into subsequent runs.
+    assert runtime.current() is None
+    assert os.environ.get(ENV_FLAG) in (None, "", "0")
