@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.bandits.base import CapacityEstimator
 from repro.core.config import BanditConfig
 from repro.core.types import TrialTriple
@@ -67,6 +68,11 @@ class NNUCBBandit(CapacityEstimator):
         self._replay: list[TrialTriple] = []
         self.num_updates = 0
         self.num_train_steps = 0
+        # Context-independent tail of every grid arm's feature row
+        # ``[x; c/|C|max; onehot]`` — scoring rebuilds only the context part.
+        self._arm_row_tail = np.stack(
+            [self._features(np.empty(0), c) for c in self.capacities]
+        )
 
     # ------------------------------------------------------------------
     # Scoring (Eq. 5)
@@ -87,10 +93,25 @@ class NNUCBBandit(CapacityEstimator):
             [np.asarray(context, dtype=float), [capacity / self._cap_norm], onehot]
         )
 
+    def arm_feature_rows(self, context: np.ndarray) -> np.ndarray:
+        """``(|C|, input_dim)`` feature rows of every grid arm for a context.
+
+        Bitwise-identical to stacking :meth:`_features` per arm (pure
+        copies), but the capacity-scalar / one-hot tail is precomputed at
+        construction instead of being rebuilt on every scoring call.
+        """
+        context = np.asarray(context, dtype=float)
+        return np.concatenate(
+            [
+                np.broadcast_to(context, (self.capacities.size, context.size)),
+                self._arm_row_tail,
+            ],
+            axis=1,
+        )
+
     def predicted_rewards(self, context: np.ndarray) -> np.ndarray:
         """``S_theta(x, c)`` for every candidate capacity, in one batch."""
-        rows = np.stack([self._features(context, c) for c in self.capacities])
-        return self.network.predict(rows)
+        return self.network.predict(self.arm_feature_rows(context))
 
     def exploration_bonus(self, gradient: np.ndarray) -> float:
         """``sqrt(g^T D^{-1} g)`` under the configured covariance regime."""
@@ -100,17 +121,42 @@ class NNUCBBandit(CapacityEstimator):
             value = float(np.sum(gradient**2 / self._d_diag))
         return float(np.sqrt(max(value, 0.0)))
 
+    def exploration_bonuses(self, gradients: np.ndarray) -> np.ndarray:
+        """Batched :meth:`exploration_bonus` over ``(n, d)`` gradient rows.
+
+        The diagonal regime reduces each row with the same pairwise
+        summation as the per-sample path, so given identical gradient rows
+        the bonuses are bit-identical; the ``"full"`` regime loops the
+        (small-model-only) quadratic form per row.
+        """
+        gradients = np.atleast_2d(np.asarray(gradients, dtype=float))
+        if self._d_inv is not None:
+            values = np.array(
+                [float(row @ self._d_inv @ row) for row in gradients]
+            )
+        else:
+            values = (gradients**2 / self._d_diag).sum(axis=1)
+        return np.sqrt(np.maximum(values, 0.0))
+
     def ucb_scores(self, context: np.ndarray) -> np.ndarray:
-        """Upper confidence bound of every candidate capacity (Eq. 5)."""
+        """Upper confidence bound of every candidate capacity (Eq. 5).
+
+        The fast kernel computes every arm's parameter gradient in one
+        batched pass (:meth:`repro.nn.MLP.param_gradients`); the reference
+        kernel is the original per-arm loop, kept as the differential
+        oracle (:mod:`repro.perf`).
+        """
         means = self.predicted_rewards(context)
-        bonuses = np.array(
-            [
-                self.exploration_bonus(
-                    self.network.param_gradient(self._features(context, c))
-                )
-                for c in self.capacities
-            ]
-        )
+        rows = self.arm_feature_rows(context)
+        if perf.fast_kernels_enabled():
+            bonuses = self.exploration_bonuses(self.network.param_gradients(rows))
+        else:
+            bonuses = np.array(
+                [
+                    self.exploration_bonus(self.network.param_gradient(row))
+                    for row in rows
+                ]
+            )
         return means + self.config.alpha * bonuses
 
     # ------------------------------------------------------------------
@@ -143,7 +189,11 @@ class NNUCBBandit(CapacityEstimator):
         scores = score_fn(context)
         spread = float(scores.max() - scores.min())
         threshold = scores.max() - self.config.tie_tolerance * max(spread, 1e-12)
-        return int(np.nonzero(scores >= threshold)[0][0])
+        qualified = np.nonzero(scores >= threshold)[0]
+        # Smallest capacity *value* among the near-max arms — not the lowest
+        # index, which is only the same thing when the grid is sorted
+        # ascending (BanditConfig accepts arbitrary arm orderings).
+        return int(qualified[np.argmin(self.capacities[qualified])])
 
     def estimate(self, context: np.ndarray, broker_id: int | None = None) -> float:
         """Choose the capacity with maximum UCB; update ``D`` (line 12)."""
@@ -175,12 +225,15 @@ class NNUCBBandit(CapacityEstimator):
 
         The stored arm input is the chosen capacity when ``train_on`` is
         ``"capacity"`` and a capacity was supplied (Alg. 1 line 16),
-        otherwise the realized workload (Eq. 6 variant).
+        otherwise the realized workload (Eq. 6 variant).  Both paths bucket
+        by *rounding*: truncating the workload path would split what is one
+        arm bucket (e.g. workloads 4.9 and 5.0) across two
+        :meth:`_stratified_sample` strata.
         """
         if self.config.train_on == "capacity" and capacity is not None:
             arm_input = int(round(capacity))
         else:
-            arm_input = int(workload)
+            arm_input = int(round(workload))
         self._buffer.append(
             TrialTriple(np.asarray(context, dtype=float), arm_input, float(reward))
         )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.bandits.base import CapacityEstimator
 from repro.bandits.neural_ucb import NNUCBBandit
 from repro.core.types import TrialTriple
@@ -101,7 +102,7 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
     # ------------------------------------------------------------------
     def personalized_scores(self, context: np.ndarray, broker_id: int) -> np.ndarray:
         """UCB scores with the broker's output correction applied."""
-        rows = np.stack([self.base._features(context, c) for c in self.base.capacities])
+        rows = self.base.arm_feature_rows(context)
         if self.mode == "linear" and broker_id in self._linear_heads:
             features = self.base.network.hidden_features(rows)
             design = np.hstack([features, np.ones((features.shape[0], 1))])
@@ -109,12 +110,17 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
         else:
             means = self.base.network.predict(rows)
             means = means + self._residual_correction(broker_id)
-        bonuses = np.array(
-            [
-                self.base.exploration_bonus(self.base.network.param_gradient(row))
-                for row in rows
-            ]
-        )
+        if perf.fast_kernels_enabled():
+            bonuses = self.base.exploration_bonuses(
+                self.base.network.param_gradients(rows)
+            )
+        else:
+            bonuses = np.array(
+                [
+                    self.base.exploration_bonus(self.base.network.param_gradient(row))
+                    for row in rows
+                ]
+            )
         return means + self.base.config.alpha * bonuses
 
     def _residual_correction(self, broker_id: int) -> np.ndarray:
@@ -173,10 +179,12 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
         self.base.update(context, workload, reward, broker_id, capacity)
         if broker_id is None:
             return
+        # Same rounding on both paths as NNUCBBandit.update — truncation
+        # would split one arm bucket across kernel/stratification arms.
         if self.base.config.train_on == "capacity" and capacity is not None:
             arm_input = int(round(capacity))
         else:
-            arm_input = int(workload)
+            arm_input = int(round(workload))
         history = self._history.setdefault(broker_id, [])
         history.append(
             TrialTriple(np.asarray(context, dtype=float), arm_input, float(reward))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.bandits.neural_ucb import NNUCBBandit
 from repro.core.config import BanditConfig
 
@@ -40,14 +41,16 @@ class NeuralThompsonBandit(NNUCBBandit):
         applies unchanged.
         """
         means = self.predicted_rewards(context)
-        deviations = np.array(
-            [
-                self.exploration_bonus(
-                    self.network.param_gradient(self._features(context, c))
-                )
-                for c in self.capacities
-            ]
-        )
+        rows = self.arm_feature_rows(context)
+        if perf.fast_kernels_enabled():
+            deviations = self.exploration_bonuses(self.network.param_gradients(rows))
+        else:
+            deviations = np.array(
+                [
+                    self.exploration_bonus(self.network.param_gradient(row))
+                    for row in rows
+                ]
+            )
         noise = self._rng.normal(0.0, 1.0, size=self.capacities.size)
         return means + self.config.alpha * deviations * noise
 

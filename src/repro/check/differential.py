@@ -18,13 +18,22 @@ The agreements checked:
   squaring is a pure running-time experiment and must not change results.
 * CBS pruning vs the unpruned instance (Theorem 2): equal optimal totals.
 * ``candidate_broker_selection`` vs brute-force ``np.sort`` top-k.
+* the ``argpartition`` fast kernel vs the quickselect reference: exactly
+  equal per-row ``Top_k`` sets and batch unions (see
+  :func:`repro.core.selection.topk_selection_mask`).
+* batched MLP scoring (``param_gradients`` + vectorized exploration
+  bonus) vs the per-sample reference path, to floating-point round-off.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.selection import candidate_broker_selection
+from repro.core.selection import (
+    candidate_broker_selection,
+    select_candidate_brokers,
+    topk_selection_mask,
+)
 from repro.matching.hungarian import solve_assignment
 from repro.matching.validation import assert_valid_matching
 
@@ -106,8 +115,6 @@ def assert_cbs_preserves(weights: np.ndarray, k: int | None = None, seed: int = 
         seed: CBS pivot randomness (pruning is randomized; the theorem must
             hold for every pivot sequence).
     """
-    from repro.core.selection import select_candidate_brokers
-
     weights = np.asarray(weights, dtype=float)
     if weights.shape[0] == 0 or weights.shape[1] == 0:
         return
@@ -141,4 +148,86 @@ def assert_topk_matches_bruteforce(row: np.ndarray, k: int, seed: int = 0) -> No
     if not np.array_equal(got, brute):
         raise AssertionError(
             f"top-{k} values {got!r} differ from brute force {brute!r} on {row!r}"
+        )
+
+
+def assert_fast_topk_matches_quickselect(
+    weights: np.ndarray, k: int, seed: int = 0
+) -> None:
+    """The ``argpartition`` kernel returns quickselect's sets *exactly*.
+
+    Per row, the fast mask must equal the quickselect index set (not just
+    a valid ``Top_k``: engine bit-identity across kernel modes rests on
+    the sets being the same), and the two
+    :func:`~repro.core.selection.select_candidate_brokers` kernels must
+    return the identical batch union.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim == 1:
+        weights = weights[None, :]
+    mask = topk_selection_mask(weights, k)
+    rng = np.random.default_rng(seed)
+    for index, row in enumerate(weights):
+        fast = np.flatnonzero(mask[index])
+        reference = np.sort(candidate_broker_selection(row, k, rng))
+        if not np.array_equal(fast, reference):
+            raise AssertionError(
+                f"fast top-{k} set {fast!r} != quickselect set {reference!r} "
+                f"on row {index} of shape {weights.shape}:\n{row!r}"
+            )
+    fast_union = select_candidate_brokers(weights, k, rng, method="argpartition")
+    reference_union = select_candidate_brokers(weights, k, rng, method="quickselect")
+    if not np.array_equal(fast_union, reference_union):
+        raise AssertionError(
+            f"fast union {fast_union!r} != quickselect union {reference_union!r} "
+            f"for k={k} on shape {weights.shape}:\n{weights!r}"
+        )
+
+
+#: Relative tolerance for batched-vs-per-sample MLP agreement.  Batched
+#: GEMMs may associate reductions differently than their per-row
+#: counterparts, so agreement is to round-off, not to the bit.
+BATCHED_MLP_RTOL = 1e-9
+BATCHED_MLP_ATOL = 1e-12
+
+
+def assert_batched_scoring_matches(case: tuple) -> None:
+    """Batched MLP gradients/bonuses/scores match the per-sample path.
+
+    Args:
+        case: ``(layer_sizes, inputs, net_seed)`` — an MLP architecture
+            (scalar output), a ``(batch, input_dim)`` design matrix, and
+            the network-initialization seed.
+    """
+    from repro.nn import MLP
+
+    layer_sizes, inputs, net_seed = case
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+    network = MLP(layer_sizes, np.random.default_rng(net_seed))
+    batched = network.param_gradients(inputs)
+    reference = np.stack([network.param_gradient(row) for row in inputs])
+    if batched.shape != reference.shape:
+        raise AssertionError(
+            f"batched gradient shape {batched.shape} != per-sample shape "
+            f"{reference.shape} for layers {layer_sizes}"
+        )
+    if not np.allclose(batched, reference, rtol=BATCHED_MLP_RTOL, atol=BATCHED_MLP_ATOL):
+        worst = float(np.max(np.abs(batched - reference)))
+        raise AssertionError(
+            f"batched param_gradients deviates from per-sample path by "
+            f"{worst!r} on layers {layer_sizes}, batch {inputs.shape}"
+        )
+    # The diagonal-covariance bonus must agree too (it is the quantity the
+    # UCB scores actually consume).
+    diag = np.abs(np.random.default_rng(net_seed + 1).normal(size=network.num_params)) + 0.5
+    batched_bonus = np.sqrt(np.maximum((batched**2 / diag).sum(axis=1), 0.0))
+    reference_bonus = np.array(
+        [np.sqrt(max(float(np.sum(row**2 / diag)), 0.0)) for row in reference]
+    )
+    if not np.allclose(
+        batched_bonus, reference_bonus, rtol=BATCHED_MLP_RTOL, atol=BATCHED_MLP_ATOL
+    ):
+        raise AssertionError(
+            f"batched exploration bonus deviates from per-sample path on "
+            f"layers {layer_sizes}: {batched_bonus!r} vs {reference_bonus!r}"
         )

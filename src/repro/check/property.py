@@ -211,6 +211,46 @@ def random_utility_row(
     return random_utilities(rng, shape=(1, size))[0]
 
 
+def random_topk_case(
+    rng: np.random.Generator, max_rows: int = 6, max_cols: int = 24
+) -> tuple[np.ndarray, int]:
+    """A ``(matrix, k)`` pair for the fast-vs-quickselect top-k property.
+
+    ``k`` ranges past the column count so the all-columns and empty edges
+    are exercised; the matrix regimes include heavy ties (the case where
+    an arbitrary-tie-break ``argpartition`` would diverge from the
+    reference).
+    """
+    n_rows = int(rng.integers(0, max_rows + 1))
+    n_cols = int(rng.integers(0, max_cols + 1))
+    weights = random_utilities(rng, shape=(n_rows, n_cols))
+    k = int(rng.integers(0, n_cols + 3))
+    return weights, k
+
+
+def random_mlp_case(
+    rng: np.random.Generator,
+    max_hidden_layers: int = 3,
+    max_width: int = 24,
+    max_batch: int = 12,
+) -> tuple[tuple[int, ...], np.ndarray, int]:
+    """A ``(layer_sizes, inputs, net_seed)`` batched-scoring case.
+
+    Scalar-output MLPs of varying depth/width with inputs spanning
+    magnitudes (so dead-ReLU rows and large activations both occur).
+    """
+    input_dim = int(rng.integers(1, 12))
+    hidden = tuple(
+        int(rng.integers(1, max_width + 1))
+        for _ in range(int(rng.integers(1, max_hidden_layers + 1)))
+    )
+    layer_sizes = (input_dim, *hidden, 1)
+    batch = int(rng.integers(1, max_batch + 1))
+    scale = 10.0 ** rng.integers(-2, 3)
+    inputs = rng.normal(0.0, scale, size=(batch, input_dim))
+    return layer_sizes, inputs, int(rng.integers(0, 2**31))
+
+
 def shrink_matrix(weights: np.ndarray):
     """Shrink candidates for a failing matrix: fewer rows/cols, simpler values.
 

@@ -150,6 +150,18 @@ def _run_property_phase(
             lambda rng: (prop.random_utility_row(rng), int(rng.integers(0, 12))),
             None,
         ),
+        (
+            "property.fast_topk_matches_quickselect",
+            lambda case: differential.assert_fast_topk_matches_quickselect(*case),
+            prop.random_topk_case,
+            None,
+        ),
+        (
+            "property.batched_scoring_matches",
+            differential.assert_batched_scoring_matches,
+            prop.random_mlp_case,
+            None,
+        ),
     ]
     cases_run = 0
     for invariant, check, generate, shrink in suites:

@@ -417,7 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
-    """Run one command under live telemetry and export the artifacts."""
+    """Run one command under live telemetry and export the artifacts.
+
+    The export happens in ``finally``: a failing command (e.g. ``check``
+    exiting non-zero on violations) must still ship its telemetry — that
+    run's trace is exactly the one worth inspecting — and the failure
+    (exit code included) must still propagate.
+    """
     telemetry = obs.enable()
     start = time.perf_counter()
     try:
@@ -425,18 +431,18 @@ def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
     finally:
         wall = time.perf_counter() - start
         obs.disable()
-    manifest = build_manifest(
-        command=args.command,
-        args={
-            key: value
-            for key, value in sorted(vars(args).items())
-            if key != "func" and not callable(value)
-        },
-        wall_seconds=wall,
-    )
-    paths = telemetry.export(directory, manifest=manifest)
-    log.info("telemetry exported to %s (%d files)", directory, len(paths))
-    log.info("render it with: repro-lacb report %s", directory)
+        manifest = build_manifest(
+            command=args.command,
+            args={
+                key: value
+                for key, value in sorted(vars(args).items())
+                if key != "func" and not callable(value)
+            },
+            wall_seconds=wall,
+        )
+        paths = telemetry.export(directory, manifest=manifest)
+        log.info("telemetry exported to %s (%d files)", directory, len(paths))
+        log.info("render it with: repro-lacb report %s", directory)
 
 
 def main(argv: list[str] | None = None) -> None:

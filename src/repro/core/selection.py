@@ -12,6 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
+
+#: Pivot stream for the quickselect reference path of
+#: :func:`select_candidate_brokers`.  Quickselect's *output* is provably
+#: pivot-independent (see :func:`topk_selection_mask`), so batch pruning
+#: draws its pivots from this private stream instead of the caller's
+#: generator — both kernel modes then leave the engine's RNG untouched and
+#: seeded runs are bit-identical whichever mode is active.
+_PIVOT_SEED = 0
+
 
 def candidate_broker_selection(
     utilities: np.ndarray,
@@ -68,19 +78,72 @@ def candidate_broker_selection(
     return np.concatenate(chosen) if chosen else np.empty(0, dtype=int)
 
 
+def topk_selection_mask(utilities: np.ndarray, k: int) -> np.ndarray:
+    """Boolean ``Top_k`` membership per row, vectorized over the matrix.
+
+    The ``np.argpartition``-style fast kernel of Alg. 3: one
+    ``np.partition`` pass finds every row's boundary (the ``k``-th largest
+    value), membership is then "strictly above the boundary, plus the
+    lowest-indexed ties at the boundary until ``k`` entries are reached".
+
+    That tie rule makes the mask *exactly* the set quickselect returns:
+    :func:`candidate_broker_selection` filters an index-sorted candidate
+    array, so whatever pivots are drawn it keeps every strictly-greater
+    index and fills the remainder with the lowest-indexed boundary ties —
+    its output never depends on the pivot sequence.  The property suites
+    in :mod:`repro.check.differential` pin this equality.
+
+    Args:
+        utilities: ``(|R|, |B|)`` finite utility matrix.
+        k: per-row candidate size.
+
+    Returns:
+        ``(|R|, |B|)`` boolean membership mask with ``min(k, |B|)`` true
+        entries per row.
+    """
+    utilities = np.asarray(utilities, dtype=float)
+    if utilities.ndim != 2:
+        raise ValueError(f"expected a 2-D utility matrix, got shape {utilities.shape}")
+    if not np.all(np.isfinite(utilities)):
+        raise ValueError("utilities must be finite (got NaN or infinity)")
+    n_rows, n_cols = utilities.shape
+    if k <= 0 or n_cols == 0:
+        return np.zeros((n_rows, n_cols), dtype=bool)
+    if k >= n_cols:
+        return np.ones((n_rows, n_cols), dtype=bool)
+    boundary = np.partition(utilities, n_cols - k, axis=1)[:, n_cols - k]
+    greater = utilities > boundary[:, None]
+    need = k - greater.sum(axis=1)
+    ties = utilities == boundary[:, None]
+    ties &= np.cumsum(ties, axis=1) <= need[:, None]
+    return greater | ties
+
+
 def select_candidate_brokers(
     utilities: np.ndarray,
     k: int,
     rng: np.random.Generator,
+    method: str | None = None,
 ) -> np.ndarray:
     """Union of per-request candidate sets over a batch (Sec. VI-C).
 
     ``U_r Top_k^r`` — the pruned broker pool on which LACB-Opt runs KM.
 
+    Two kernels produce the identical union (selected by ``method``, or by
+    :mod:`repro.perf` when omitted): ``"argpartition"`` — the vectorized
+    :func:`topk_selection_mask` over the whole matrix, the default — and
+    ``"quickselect"`` — per-row :func:`candidate_broker_selection`, the
+    Theorem-2 reference.  Neither consumes the caller's generator: the
+    reference draws its pivots from a private stream because quickselect's
+    output is pivot-independent (see :func:`topk_selection_mask`), so runs
+    are bit-identical whichever kernel is active.
+
     Args:
         utilities: ``(|R|, |B|)`` predicted utility matrix of one batch.
         k: per-request candidate size (Corollary 1 uses ``k = |R|``).
-        rng: pivot randomness.
+        rng: accepted for API stability; no longer consumed (see above).
+        method: ``"argpartition"``, ``"quickselect"``, or ``None`` for the
+            process-wide kernel mode.
 
     Returns:
         Sorted unique broker indices participating in the pruned graph.
@@ -88,7 +151,17 @@ def select_candidate_brokers(
     utilities = np.asarray(utilities, dtype=float)
     if utilities.ndim != 2:
         raise ValueError(f"expected a 2-D utility matrix, got shape {utilities.shape}")
+    if method is None:
+        method = "argpartition" if perf.fast_kernels_enabled() else "quickselect"
+    if method == "argpartition":
+        mask = topk_selection_mask(utilities, k)
+        return np.flatnonzero(mask.any(axis=0))
+    if method != "quickselect":
+        raise ValueError(
+            f"method must be 'argpartition' or 'quickselect', got {method!r}"
+        )
+    pivot_rng = np.random.default_rng(_PIVOT_SEED)
     selected: set[int] = set()
     for row in utilities:
-        selected.update(int(i) for i in candidate_broker_selection(row, k, rng))
+        selected.update(int(i) for i in candidate_broker_selection(row, k, pivot_rng))
     return np.array(sorted(selected), dtype=int)

@@ -164,6 +164,55 @@ class MLP:
             layer.grad_bias[:] = grad_b
         return gradient
 
+    def param_gradients(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample gradients for a whole batch in one pass.
+
+        Returns the ``(batch, num_params)`` matrix whose row ``i`` is
+        ``param_gradient(x[i])`` — each row laid out in :meth:`grad_vector`
+        order — without the per-sample Python loop, the gradient
+        save/restore, or any mutation of the layers' training caches.
+        This is the fast kernel behind the batched UCB exploration bonus
+        (Eq. 5); :meth:`param_gradient` remains the per-sample reference
+        the differential suites compare it against (agreement is to
+        floating-point round-off: batched GEMMs may associate reductions
+        differently than their per-row counterparts).
+        """
+        if self.output_dim != 1:
+            raise ValueError("param_gradients requires a scalar-output network")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected input of shape (batch, {self.input_dim}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        # Forward with local caches: the layers' `_last_input` / relu masks
+        # belong to training and must stay untouched.
+        activations = [x]
+        masks: list[np.ndarray] = []
+        out = x
+        for layer in self.layers[:-1]:
+            out = out @ layer.weight.T + layer.bias
+            mask = out > 0.0
+            masks.append(mask)
+            out = out * mask
+            activations.append(out)
+        # Backward: per-sample parameter gradients are pure outer products
+        # delta_i (x) a_i, batched with einsum; only the propagated signal
+        # `grad` mixes layers (never samples).
+        per_layer: list[tuple[np.ndarray, np.ndarray]] = []
+        grad = np.ones((batch, 1))
+        for index in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[index]
+            grad_weight = np.einsum("no,nj->noj", grad, activations[index])
+            per_layer.append((grad_weight.reshape(batch, -1), grad))
+            if index > 0:
+                grad = (grad @ layer.weight) * masks[index - 1]
+        chunks: list[np.ndarray] = []
+        for grad_weight, grad_bias in reversed(per_layer):
+            chunks.append(grad_weight)
+            chunks.append(grad_bias)
+        return np.concatenate(chunks, axis=1)
+
     # ------------------------------------------------------------------
     # Training helpers
     # ------------------------------------------------------------------

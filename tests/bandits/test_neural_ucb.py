@@ -130,3 +130,127 @@ def test_theorem1_parameters(rng):
     assert depth == 3  # two hidden layers + output
     assert num_arms == 4
     assert xi > 0
+
+
+# ----------------------------------------------------------------------
+# Regression: tie-break must pick the smallest capacity *value*
+# ----------------------------------------------------------------------
+def test_tiebreak_prefers_smallest_capacity_on_unsorted_grid(rng):
+    """`_pick` used to take the lowest *index* within the tolerance band,
+    which silently assumed an ascending capacity grid — on an unsorted
+    grid the "conservative indifference" rule handed out the wrong arm."""
+    bandit = _bandit(
+        rng,
+        candidate_capacities=np.array([40.0, 8.0, 16.0]),
+        min_arm_pulls=0,
+        epsilon=0.0,
+    )
+    flat_scores = lambda context: np.zeros(bandit.capacities.size)
+    chosen = bandit._pick(flat_scores, rng.normal(size=3))
+    assert bandit.capacities[chosen] == 8.0
+
+
+def test_tiebreak_unchanged_on_sorted_grid(rng):
+    bandit = _bandit(rng, min_arm_pulls=0, epsilon=0.0)
+    flat_scores = lambda context: np.ones(bandit.capacities.size)
+    chosen = bandit._pick(flat_scores, rng.normal(size=3))
+    assert chosen == 0  # grid [10, 20, 30, 40]: smallest value is index 0
+
+
+def test_tiebreak_ignores_arms_outside_tolerance(rng):
+    bandit = _bandit(
+        rng,
+        candidate_capacities=np.array([40.0, 8.0, 16.0]),
+        min_arm_pulls=0,
+        epsilon=0.0,
+        tie_tolerance=0.05,
+    )
+    # Arm 2 is clearly best; arm 1 (capacity 8) is far below the band.
+    scores = lambda context: np.array([0.96, 0.1, 1.0])
+    chosen = bandit._pick(scores, rng.normal(size=3))
+    assert chosen == 2
+
+
+# ----------------------------------------------------------------------
+# Regression: replay arms must bucket identically on both train_on paths
+# ----------------------------------------------------------------------
+def test_workload_replay_buckets_by_rounding(rng):
+    """`int(workload)` truncated, so workloads 4.9 and 5.0 landed in two
+    different stratified-sample strata despite being one arm bucket."""
+    bandit = _bandit(rng, batch_size=64, train_on="workload")
+    context = rng.normal(size=3)
+    for workload in (4.9, 5.0, 5.2, 4.6):
+        bandit.update(context, workload, 0.3)
+    arms = {triple.workload for triple in bandit._buffer}
+    assert arms == {5}
+
+
+def test_stratified_sample_sees_one_stratum_for_tied_workloads(rng):
+    bandit = _bandit(rng, batch_size=2, train_on="workload", replay_sample=8)
+    context = rng.normal(size=3)
+    bandit.update(context, 4.9, 0.3)
+    bandit.update(context, 5.0, 0.4)  # triggers training; replay now holds both
+    arms = np.unique([triple.workload for triple in bandit._replay])
+    assert arms.size == 1
+    picked = bandit._stratified_sample()
+    assert picked.size == min(2, bandit.config.replay_sample)
+
+
+def test_capacity_and_workload_paths_bucket_identically(rng):
+    capacity_bandit = _bandit(rng, batch_size=64, train_on="capacity")
+    workload_bandit = _bandit(rng, batch_size=64, train_on="workload")
+    context = rng.normal(size=3)
+    capacity_bandit.update(context, 4.9, 0.3, capacity=4.9)
+    workload_bandit.update(context, 4.9, 0.3)
+    assert capacity_bandit._buffer[0].workload == workload_bandit._buffer[0].workload
+
+
+# ----------------------------------------------------------------------
+# Batched (fast) vs per-sample (reference) scoring
+# ----------------------------------------------------------------------
+def test_fast_and_reference_scores_agree(rng):
+    from repro import perf
+
+    bandit = _bandit(rng, min_arm_pulls=0, epsilon=0.0)
+    # A little training so the network and covariance are non-trivial.
+    for _ in range(20):
+        context = rng.normal(size=3)
+        capacity = bandit.estimate(context)
+        bandit.update(context, capacity, float(rng.uniform()), capacity=capacity)
+    bandit.flush()
+    for _ in range(5):
+        context = rng.normal(size=3)
+        with perf.use_fast_kernels(True):
+            fast = bandit.ucb_scores(context)
+        with perf.use_fast_kernels(False):
+            reference = bandit.ucb_scores(context)
+        np.testing.assert_allclose(fast, reference, rtol=1e-9, atol=1e-12)
+        with perf.use_fast_kernels(True):
+            fast_arm = bandit._pick(bandit.ucb_scores, context)
+        with perf.use_fast_kernels(False):
+            reference_arm = bandit._pick(bandit.ucb_scores, context)
+        assert fast_arm == reference_arm
+
+
+def test_exploration_bonuses_matches_scalar_loop_diagonal(rng):
+    bandit = _bandit(rng)
+    gradients = rng.normal(size=(6, bandit.network.num_params))
+    batched = bandit.exploration_bonuses(gradients)
+    scalar = np.array([bandit.exploration_bonus(g) for g in gradients])
+    np.testing.assert_array_equal(batched, scalar)
+
+
+def test_exploration_bonuses_matches_scalar_loop_full(rng):
+    bandit = _bandit(rng, covariance="full", hidden_sizes=(6,))
+    gradients = rng.normal(size=(4, bandit.network.num_params))
+    batched = bandit.exploration_bonuses(gradients)
+    scalar = np.array([bandit.exploration_bonus(g) for g in gradients])
+    np.testing.assert_array_equal(batched, scalar)
+
+
+def test_arm_feature_rows_matches_per_arm_features(rng):
+    bandit = _bandit(rng)
+    context = rng.normal(size=3)
+    rows = bandit.arm_feature_rows(context)
+    reference = np.stack([bandit._features(context, c) for c in bandit.capacities])
+    np.testing.assert_array_equal(rows, reference)

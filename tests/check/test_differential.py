@@ -121,3 +121,55 @@ def test_topk_detects_wrong_selection(monkeypatch):
     )
     with pytest.raises(AssertionError):
         differential.assert_topk_matches_bruteforce(np.array([0.0, 5.0, 1.0]), 1)
+
+
+def test_fast_topk_matches_quickselect_on_randomized_instances():
+    count = run_property(
+        lambda case: differential.assert_fast_topk_matches_quickselect(*case),
+        prop.random_topk_case,
+        num_cases=NUM_CASES,
+        seed=105,
+        name="fast_topk_matches_quickselect",
+    )
+    assert count == NUM_CASES
+
+
+def test_batched_scoring_matches_on_randomized_networks():
+    count = run_property(
+        differential.assert_batched_scoring_matches,
+        prop.random_mlp_case,
+        num_cases=NUM_CASES,
+        seed=106,
+        name="batched_scoring_matches",
+    )
+    assert count == NUM_CASES
+
+
+def test_fast_topk_assert_catches_wrong_tie_rule(monkeypatch):
+    """Sanity: the oracle fires if the fast kernel breaks ties differently."""
+    from repro.core import selection
+
+    def highest_index_ties(utilities, k):
+        # Same boundary rule but ties resolved to the *highest* index.
+        mask = selection.topk_selection_mask(utilities[:, ::-1], k)[:, ::-1]
+        return mask
+
+    monkeypatch.setattr(differential, "topk_selection_mask", highest_index_ties)
+    with pytest.raises(AssertionError):
+        differential.assert_fast_topk_matches_quickselect(
+            np.array([[1.0, 1.0, 1.0, 2.0]]), 2
+        )
+
+
+def test_batched_scoring_assert_catches_broken_batch_path(monkeypatch):
+    from repro.nn import MLP
+
+    real = MLP.param_gradients
+
+    def broken(self, x):
+        return real(self, x) * 1.01
+
+    monkeypatch.setattr(MLP, "param_gradients", broken)
+    case = ((4, 8, 1), np.random.default_rng(0).normal(size=(3, 4)), 7)
+    with pytest.raises(AssertionError):
+        differential.assert_batched_scoring_matches(case)

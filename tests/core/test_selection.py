@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import candidate_broker_selection, select_candidate_brokers
+from repro.core.selection import topk_selection_mask
 from repro.matching import solve_assignment
 
 
@@ -89,3 +90,78 @@ def test_infinite_utilities_raise(rng):
 def test_nan_utilities_raise_for_union(rng):
     with pytest.raises(ValueError, match="finite"):
         select_candidate_brokers(np.array([[0.1, np.nan], [0.2, 0.3]]), 1, rng)
+
+
+# ----------------------------------------------------------------------
+# The argpartition fast kernel vs the quickselect reference
+# ----------------------------------------------------------------------
+def test_topk_mask_counts_and_membership(rng):
+    utilities = rng.uniform(size=(5, 30))
+    mask = topk_selection_mask(utilities, 7)
+    assert mask.shape == utilities.shape
+    np.testing.assert_array_equal(mask.sum(axis=1), np.full(5, 7))
+
+
+def test_topk_mask_edge_sizes(rng):
+    utilities = rng.uniform(size=(3, 8))
+    assert topk_selection_mask(utilities, 0).sum() == 0
+    assert topk_selection_mask(utilities, 8).all()
+    assert topk_selection_mask(utilities, 99).all()
+    assert topk_selection_mask(np.empty((0, 8)), 3).shape == (0, 8)
+    assert topk_selection_mask(np.empty((4, 0)), 3).shape == (4, 0)
+
+
+def test_topk_mask_breaks_ties_by_lowest_index():
+    # Boundary value 1.0 is triple-tied; quickselect keeps the
+    # lowest-indexed ties, so the mask must do the same.
+    utilities = np.array([[1.0, 2.0, 1.0, 1.0, 0.5]])
+    mask = topk_selection_mask(utilities, 3)
+    np.testing.assert_array_equal(np.flatnonzero(mask[0]), [0, 1, 2])
+
+
+def test_topk_mask_rejects_nan():
+    with pytest.raises(ValueError, match="finite"):
+        topk_selection_mask(np.array([[0.1, np.nan]]), 1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 40), st.integers(0, 12), st.integers(0, 10_000))
+def test_fast_union_matches_quickselect_union(n_rows, n_cols, k, seed):
+    """Both kernels of select_candidate_brokers return the identical union."""
+    case_rng = np.random.default_rng(seed)
+    # Coarse quantization forces heavy boundary ties, the adversarial case.
+    utilities = case_rng.integers(0, 4, size=(n_rows, n_cols)).astype(float)
+    fast = select_candidate_brokers(utilities, k, case_rng, method="argpartition")
+    reference = select_candidate_brokers(utilities, k, case_rng, method="quickselect")
+    np.testing.assert_array_equal(fast, reference)
+
+
+def test_select_candidate_brokers_rejects_unknown_method(rng):
+    with pytest.raises(ValueError, match="method"):
+        select_candidate_brokers(rng.uniform(size=(2, 5)), 2, rng, method="bogus")
+
+
+def test_union_selection_consumes_no_caller_randomness(rng):
+    """Batch pruning must not advance the engine's shared generator.
+
+    Seeded-run bit-identity across kernel modes rests on this: quickselect
+    pivots come from a private stream (the output is pivot-independent),
+    and the argpartition kernel draws nothing at all.
+    """
+    utilities = np.random.default_rng(0).uniform(size=(4, 20))
+    for method in ("argpartition", "quickselect"):
+        caller = np.random.default_rng(99)
+        select_candidate_brokers(utilities, 4, caller, method=method)
+        untouched = np.random.default_rng(99)
+        assert caller.integers(1 << 30) == untouched.integers(1 << 30)
+
+
+def test_default_method_follows_perf_switch(rng):
+    from repro import perf
+
+    utilities = np.random.default_rng(2).uniform(size=(3, 12))
+    with perf.use_fast_kernels(True):
+        fast = select_candidate_brokers(utilities, 3, rng)
+    with perf.use_fast_kernels(False):
+        reference = select_candidate_brokers(utilities, 3, rng)
+    np.testing.assert_array_equal(fast, reference)

@@ -155,3 +155,37 @@ def test_run_many_parallel_matches_serial():
         np.testing.assert_array_equal(a.broker_utility, b.broker_utility)
         np.testing.assert_array_equal(a.broker_workload, b.broker_workload)
         np.testing.assert_array_equal(a.broker_signup, b.broker_signup)
+
+
+# ----------------------------------------------------------------------
+# Fast vs reference kernels: seeded runs are bit-identical in either mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["LACB", "LACB-Opt"])
+def test_fast_and_reference_kernels_bit_identical(algorithm):
+    """The vectorized hot paths (batched NN-UCB scoring, argpartition CBS)
+    must reproduce the retained reference kernels bit-for-bit: CBS returns
+    exactly the same candidate sets without touching the engine's RNG, and
+    arm decisions plus the covariance update are unchanged."""
+    from repro import perf
+    from repro.engine.executor import execute_spec
+
+    def run():
+        spec = RunSpec(
+            platform=PlatformSpec.synthetic(GOLDEN_CONFIG),
+            matcher=MatcherSpec(algorithm, seed=7),
+        )
+        return execute_spec(spec)
+
+    with perf.use_fast_kernels(True):
+        fast = run()
+    with perf.use_fast_kernels(False):
+        reference = run()
+    assert fast.total_realized_utility == reference.total_realized_utility
+    assert fast.total_predicted_utility == reference.total_predicted_utility
+    assert fast.num_assigned == reference.num_assigned
+    np.testing.assert_array_equal(fast.daily_utility, reference.daily_utility)
+    np.testing.assert_array_equal(fast.broker_utility, reference.broker_utility)
+    np.testing.assert_array_equal(fast.broker_workload, reference.broker_workload)
+    np.testing.assert_array_equal(
+        fast.broker_peak_workload, reference.broker_peak_workload
+    )

@@ -141,3 +141,61 @@ def test_forward_shapes_property(batch, hidden):
     x = rng.normal(size=(batch, 3))
     assert net.forward(x).shape == (batch, 1)
     assert net.predict(x).shape == (batch,)
+
+
+# ----------------------------------------------------------------------
+# Batched per-sample gradients (the fast UCB-scoring kernel)
+# ----------------------------------------------------------------------
+def test_param_gradients_matches_per_sample_loop(rng):
+    from repro.nn import MLP
+
+    network = MLP([7, 16, 8, 1], rng)
+    inputs = rng.normal(size=(9, 7))
+    batched = network.param_gradients(inputs)
+    reference = np.stack([network.param_gradient(row) for row in inputs])
+    assert batched.shape == (9, network.num_params)
+    np.testing.assert_allclose(batched, reference, rtol=1e-9, atol=1e-12)
+
+
+def test_param_gradients_single_row_is_exact(rng):
+    from repro.nn import MLP
+
+    network = MLP([5, 12, 1], rng)
+    row = rng.normal(size=5)
+    np.testing.assert_array_equal(
+        network.param_gradients(row[None, :])[0], network.param_gradient(row)
+    )
+
+
+def test_param_gradients_requires_scalar_output(rng):
+    from repro.nn import MLP
+
+    network = MLP([4, 6, 2], rng)
+    with pytest.raises(ValueError, match="scalar"):
+        network.param_gradients(rng.normal(size=(3, 4)))
+
+
+def test_param_gradients_rejects_wrong_width(rng):
+    from repro.nn import MLP
+
+    network = MLP([4, 6, 1], rng)
+    with pytest.raises(ValueError, match="shape"):
+        network.param_gradients(rng.normal(size=(3, 5)))
+
+
+def test_param_gradients_preserves_training_state(rng):
+    """The batched pass must not clobber accumulated gradients or the
+    forward caches a pending backward() depends on."""
+    from repro.nn import MLP
+
+    network = MLP([4, 6, 1], rng)
+    batch = rng.normal(size=(5, 4))
+    network.zero_grad()
+    network.forward(batch)  # training forward whose caches must survive
+    network.layers[0].grad_weight += 3.0
+    accumulated = [layer.grad_weight.copy() for layer in network.layers]
+    network.param_gradients(rng.normal(size=(7, 4)))
+    for layer, before in zip(network.layers, accumulated):
+        np.testing.assert_array_equal(layer.grad_weight, before)
+    # backward() must still consume the training forward's caches.
+    network.backward(np.ones((5, 1)))

@@ -245,7 +245,7 @@ def test_check_command_writes_report(capsys, tmp_path):
     payload = json.loads((report_dir / "check_report.json").read_text())
     assert payload["ok"] is True
     assert payload["violations"] == []
-    assert payload["property_cases"] == 20  # 4 suites x 5 cases
+    assert payload["property_cases"] == 30  # 6 suites x 5 cases
 
 
 def test_compare_with_check_flag(capsys):
@@ -266,3 +266,86 @@ def test_compare_with_check_flag(capsys):
     # The flag must not leak into subsequent runs.
     assert runtime.current() is None
     assert os.environ.get(ENV_FLAG) in (None, "", "0")
+
+
+# ----------------------------------------------------------------------
+# `repro-lacb check` exit-code contract
+# ----------------------------------------------------------------------
+def _fake_report(violations):
+    from repro.check.selfcheck import SelfCheckReport
+
+    return SelfCheckReport(
+        violations=violations,
+        invariants_checked=10,
+        solver_checks=2,
+        property_cases=20,
+        algorithms=("KM",),
+    )
+
+
+def test_check_exits_nonzero_on_violations(monkeypatch, capsys):
+    """The CI self-check step must not be able to pass vacuously: any
+    collected violation must surface as a non-zero exit code."""
+    from repro.check.runtime import Violation
+
+    monkeypatch.setattr(
+        "repro.check.run_self_check",
+        lambda **kwargs: _fake_report([Violation("batch.feasible", "boom")]),
+    )
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check"])
+    assert excinfo.value.code == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out and "batch.feasible" in out
+
+
+def test_check_returns_cleanly_when_ok(monkeypatch, capsys):
+    monkeypatch.setattr("repro.check.run_self_check", lambda **kwargs: _fake_report([]))
+    main(["check"])
+    assert "OK" in capsys.readouterr().out
+
+
+def test_check_report_written_even_on_failure(monkeypatch, tmp_path, capsys):
+    from repro.check.runtime import Violation
+
+    monkeypatch.setattr(
+        "repro.check.run_self_check",
+        lambda **kwargs: _fake_report([Violation("solver.km_optimal", "off by one")]),
+    )
+    report_dir = tmp_path / "report"
+    with pytest.raises(SystemExit):
+        main(["check", "--report", str(report_dir)])
+    payload = json.loads((report_dir / "check_report.json").read_text())
+    assert payload["ok"] is False
+    assert payload["violations"]
+
+
+def test_check_telemetry_exported_even_on_failure(monkeypatch, tmp_path, capsys):
+    """--telemetry used to lose its export when the command failed; the
+    failing run's trace is exactly the one worth keeping."""
+    from repro.check.runtime import Violation
+
+    monkeypatch.setattr(
+        "repro.check.run_self_check",
+        lambda **kwargs: _fake_report([Violation("cbs.preserves", "lost weight")]),
+    )
+    telemetry_dir = tmp_path / "telemetry"
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "--telemetry", str(telemetry_dir)])
+    assert excinfo.value.code == 1
+    assert telemetry_dir.is_dir() and any(telemetry_dir.iterdir())
+
+
+def test_check_end_to_end_small_instance(capsys):
+    """Un-mocked smoke: a tiny healthy instance reports OK and exits 0."""
+    main(
+        [
+            "check",
+            "--brokers", "10",
+            "--requests", "80",
+            "--days", "1",
+            "--cases", "5",
+            "--algorithms", "KM",
+        ]
+    )
+    assert "OK: all invariants and properties hold" in capsys.readouterr().out
