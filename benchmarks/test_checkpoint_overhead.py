@@ -1,0 +1,153 @@
+"""Checkpointing overhead — whole-run wall clock with checkpoints off vs. on.
+
+Day-boundary checkpointing (:mod:`repro.state`) sits outside the matcher
+decision clock — its cost is snapshot + npz blob write + fsync'd index
+append, once per day.  That cost is a standing perf budget: **a run with
+``checkpoint_dir`` set must stay within 5% of the same run without it**
+on the BENCH_hotpath compare scenario.  This bench runs the same
+LACB-Opt day loop both ways, checks the results are bit-identical,
+enforces the budget on the median off/on pair ratio of *whole-run* wall
+clock (the decision clock excludes hook time by design), and emits
+``BENCH_checkpoint.json`` so the trajectory of that budget is tracked
+across PRs.
+
+The per-write cost is also measured from the inside via :mod:`repro.obs`:
+the hook wraps each save in a ``state.checkpoint`` span, so the payload
+records exactly how much of the wall clock the durable writes consumed.
+"""
+
+import json
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec
+from repro.engine.executor import execute_spec, execute_spec_observed
+from repro.obs import telemetry as obs
+from repro.simulation import SyntheticConfig
+
+#: CI smoke mode: tiny instance, budget relaxed to "not pathologically
+#: slower" — per-day compute shrinks with the instance but the per-write
+#: fsync floor does not, so the 5% bound is only meaningful at scale.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+REPEATS = 3 if SMOKE else 5
+OVERHEAD_BUDGET = 2.0 if SMOKE else 1.05
+
+#: Near the CLI's default city scale (|B|=200), like BENCH_obs_overhead:
+#: per-day assignment work must dominate, as it does in real runs — tiny
+#: instances overstate the relative cost of the fixed per-day write
+#: (a few ms of fsync'd npz, regardless of instance size).
+CONFIG = SyntheticConfig(
+    num_brokers=20 if SMOKE else 200,
+    num_requests=150 if SMOKE else 5000,
+    num_days=1 if SMOKE else 6,
+    imbalance=0.02,
+    seed=5,
+)
+
+RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_checkpoint.json")
+
+
+def _spec(checkpoint_dir=None) -> RunSpec:
+    return RunSpec(
+        platform=PlatformSpec.synthetic(CONFIG),
+        matcher=MatcherSpec("LACB-Opt", seed=7),
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def _timed(fn):
+    tick = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - tick
+
+
+def test_checkpoint_overhead(benchmark):
+    obs.disable()
+    root = tempfile.mkdtemp(prefix="bench-checkpoint-")
+    try:
+        execute_spec(_spec())  # warm the process-local platform cache
+        off_runs, on_runs = [], []
+        off_times, on_times = [], []
+        # Interleave the two modes so drift (thermal, cache) hits both equally.
+        for index in range(REPEATS):
+            off, off_seconds = _timed(lambda: execute_spec(_spec()))
+            off_runs.append(off)
+            off_times.append(off_seconds)
+
+            store_dir = os.path.join(root, f"repeat-{index}")
+            on, on_seconds = _timed(lambda: execute_spec(_spec(store_dir)))
+            on_runs.append(on)
+            on_times.append(on_seconds)
+
+        # One observed pass: repro.obs spans time each durable write from
+        # the inside, giving the absolute cost alongside the ratio.
+        _observed, payload = execute_spec_observed(
+            _spec(os.path.join(root, "observed"))
+        )
+        write_seconds = [
+            span["duration"]
+            for span in payload["spans"]
+            if span["name"] == "state.checkpoint"
+        ]
+        checkpoint_writes = len(write_seconds)
+
+        # One recorded pass for the pytest-benchmark tables: checkpointing
+        # on, the quantity whose regression this bench exists to catch.
+        benchmark.pedantic(
+            lambda: execute_spec(_spec(os.path.join(root, "recorded"))),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # Checkpointing must never change results.
+    for off, on in zip(off_runs, on_runs):
+        assert off.total_realized_utility == on.total_realized_utility
+        assert off.total_predicted_utility == on.total_predicted_utility
+        assert off.num_assigned == on.num_assigned
+
+    off_best, on_best = min(off_times), min(on_times)
+    # Each off/on pair runs back-to-back, so the per-pair ratio cancels
+    # machine drift; the median then discards disturbed pairs entirely.
+    pair_ratios = [on / off for off, on in zip(off_times, on_times)]
+    overhead = statistics.median(pair_ratios)
+    result = {
+        "bench": "checkpoint_overhead",
+        "smoke": SMOKE,
+        "instance": {
+            "num_brokers": CONFIG.num_brokers,
+            "num_requests": CONFIG.num_requests,
+            "num_days": CONFIG.num_days,
+            "imbalance": CONFIG.imbalance,
+            "algorithm": "LACB-Opt",
+        },
+        "repeats": REPEATS,
+        "checkpoint_off_seconds": off_times,
+        "checkpoint_on_seconds": on_times,
+        "checkpoint_off_best": off_best,
+        "checkpoint_on_best": on_best,
+        "pair_ratios": pair_ratios,
+        "overhead_ratio": overhead,
+        "budget_ratio": OVERHEAD_BUDGET,
+        "checkpoint_writes": checkpoint_writes,
+        "checkpoint_write_seconds": write_seconds,
+        "checkpoint_write_total": sum(write_seconds),
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+
+    print()
+    print(f"whole run, checkpoints off: {off_best:.3f}s (best of {REPEATS})")
+    print(f"whole run, checkpoints on:  {on_best:.3f}s ({checkpoint_writes} writes, "
+          f"{sum(write_seconds) * 1e3:.1f}ms inside state.checkpoint spans)")
+    print(f"overhead: {(overhead - 1) * 100:+.2f}% (budget +{(OVERHEAD_BUDGET - 1) * 100:.0f}%)")
+    assert checkpoint_writes == CONFIG.num_days
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"checkpointing overhead {(overhead - 1) * 100:.2f}% exceeds the "
+        f"{(OVERHEAD_BUDGET - 1) * 100:.0f}% budget"
+    )

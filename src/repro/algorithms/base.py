@@ -57,3 +57,30 @@ class Matcher(ABC):
 
     def end_day(self, day: int, outcome: DayOutcome, contexts: np.ndarray) -> None:
         """Receive realized end-of-day feedback (optional hook)."""
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Default snapshot for matchers with no day-spanning state.
+
+        Capacity-oblivious per-batch matchers (Greedy, KM) decide every
+        batch from its utilities alone, so their durable state is empty;
+        the envelope still records the algorithm name so a checkpoint can
+        never be restored into a different matcher unnoticed.  Stateful
+        matchers override both methods.
+        """
+        from repro.state.protocol import versioned
+
+        return versioned("algorithms.stateless", {"name": self.name})
+
+    def restore(self, state) -> None:
+        """Validate the envelope and algorithm name; nothing to reinstall."""
+        from repro.state.protocol import StateError, expect
+
+        payload = expect(state, "algorithms.stateless")
+        if payload["name"] != self.name:
+            raise StateError(
+                f"snapshot is for algorithm {payload['name']!r}, this matcher "
+                f"is {self.name!r}"
+            )

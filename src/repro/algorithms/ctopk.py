@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.algorithms.base import Matcher
 from repro.core.types import AssignedPair, Assignment
+from repro.state.protocol import StateError, expect, rng_state, set_rng_state, versioned
 
 
 class ConstrainedTopKRecommender(Matcher):
@@ -82,3 +83,30 @@ class ConstrainedTopKRecommender(Matcher):
                 AssignedPair(int(request_id), int(choice), float(utilities[row, choice]))
             )
         return assignment
+
+    def snapshot(self) -> dict:
+        """Durable state: the RNG stream and today's workload counters.
+
+        The counters reset at ``begin_day``, but checkpoints capture state
+        *after* ``end_day`` — snapshotting them keeps the contract uniform
+        (a mid-day snapshot would round-trip too).
+        """
+        return versioned(
+            "algorithms.ctopk",
+            {
+                "k": self.k,
+                "rng": rng_state(self.rng),
+                "workloads": self._workloads.copy(),
+            },
+        )
+
+    def restore(self, state) -> None:
+        payload = expect(state, "algorithms.ctopk")
+        workloads = np.array(payload["workloads"], dtype=int)
+        if int(payload["k"]) != self.k or workloads.shape != (self.num_brokers,):
+            raise StateError(
+                f"snapshot (k={payload['k']}, {workloads.size} brokers) does not "
+                f"match this recommender (k={self.k}, {self.num_brokers} brokers)"
+            )
+        set_rng_state(self.rng, payload["rng"])
+        self._workloads = workloads

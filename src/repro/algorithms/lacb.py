@@ -23,6 +23,7 @@ from repro.core.config import LACBConfig
 from repro.core.types import Assignment, DayOutcome
 from repro.core.vfga import ValueFunctionGuidedAssigner
 from repro.obs import telemetry as obs
+from repro.state.protocol import expect, versioned
 
 
 class LACBMatcher(Matcher):
@@ -115,6 +116,39 @@ class LACBMatcher(Matcher):
                     routing_id,
                     capacity=float(self.assigner.capacities[broker_id]),
                 )
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot: estimator + assigner (their shared RNG included).
+
+        The estimator and the assigner share one generator (handed out by
+        the algorithm registry); both sub-snapshots carry the same captured
+        stream state, and both restores reinstall it into the same live
+        object, so the sharing survives the round trip.
+        """
+        return versioned(
+            "algorithms.lacb",
+            {
+                "name": self.name,
+                "estimator": self.estimator.snapshot(),
+                "assigner": self.assigner.snapshot(),
+                "day": int(self._day),
+            },
+        )
+
+    def restore(self, state) -> None:
+        payload = expect(state, "algorithms.lacb")
+        if payload["name"] != self.name:
+            from repro.state.protocol import StateError
+
+            raise StateError(
+                f"snapshot is for {payload['name']!r}, this matcher is {self.name!r}"
+            )
+        self.estimator.restore(payload["estimator"])
+        self.assigner.restore(payload["assigner"])
+        self._day = int(payload["day"])
 
     # ------------------------------------------------------------------
     # Introspection

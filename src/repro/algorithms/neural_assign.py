@@ -16,6 +16,7 @@ from repro.core.config import AssignmentConfig, BanditConfig
 from repro.core.types import Assignment, DayOutcome
 from repro.core.vfga import ValueFunctionGuidedAssigner
 from repro.obs import telemetry as obs
+from repro.state.protocol import expect, versioned
 
 
 class NeuralUCBAssignment(Matcher):
@@ -87,3 +88,15 @@ class NeuralUCBAssignment(Matcher):
                     int(broker_id),
                     capacity=float(self.assigner.capacities[broker_id]),
                 )
+
+    def snapshot(self) -> dict:
+        """Deep snapshot: bandit + assigner (their shared RNG included)."""
+        return versioned(
+            "algorithms.neural_assign",
+            {"bandit": self.bandit.snapshot(), "assigner": self.assigner.snapshot()},
+        )
+
+    def restore(self, state) -> None:
+        payload = expect(state, "algorithms.neural_assign")
+        self.bandit.restore(payload["bandit"])
+        self.assigner.restore(payload["assigner"])

@@ -65,3 +65,15 @@ class OracleCapacityMatcher(Matcher):
     def end_day(self, day: int, outcome: DayOutcome, contexts: np.ndarray) -> None:
         """Close the assigner's day (no learning — the oracle knows)."""
         self.assigner.end_day()
+
+    def snapshot(self) -> dict:
+        """Durable state is the assigner's; the platform checkpoints itself."""
+        from repro.state.protocol import versioned
+
+        return versioned("algorithms.oracle", {"assigner": self.assigner.snapshot()})
+
+    def restore(self, state) -> None:
+        from repro.state.protocol import expect
+
+        payload = expect(state, "algorithms.oracle")
+        self.assigner.restore(payload["assigner"])

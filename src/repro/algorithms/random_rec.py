@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.algorithms.base import Matcher
 from repro.core.types import AssignedPair, Assignment, DayOutcome
+from repro.state.protocol import StateError, expect, rng_state, set_rng_state, versioned
 
 
 class RandomizedRecommender(Matcher):
@@ -76,3 +77,30 @@ class RandomizedRecommender(Matcher):
         served = outcome.workloads > 0
         self._quality_sum[served] += outcome.signup_rates[served]
         self._quality_count[served] += 1
+
+    def snapshot(self) -> dict:
+        """Durable state: the RNG stream and the running quality means.
+
+        ``_day_weights`` is recomputed from these at every ``begin_day``
+        and checkpoints are taken at day boundaries, so it is transient.
+        """
+        return versioned(
+            "algorithms.random_rec",
+            {
+                "rng": rng_state(self.rng),
+                "quality_sum": self._quality_sum.copy(),
+                "quality_count": self._quality_count.copy(),
+            },
+        )
+
+    def restore(self, state) -> None:
+        payload = expect(state, "algorithms.random_rec")
+        quality_sum = np.array(payload["quality_sum"], dtype=float)
+        if quality_sum.shape != (self.num_brokers,):
+            raise StateError(
+                f"snapshot is for {quality_sum.size} brokers, "
+                f"this recommender has {self.num_brokers}"
+            )
+        set_rng_state(self.rng, payload["rng"])
+        self._quality_sum = quality_sum
+        self._quality_count = np.array(payload["quality_count"], dtype=float)

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.algorithms.base import Matcher
 from repro.core.types import AssignedPair, Assignment
+from repro.state.protocol import StateError, expect, rng_state, set_rng_state, versioned
 
 
 class TopKRecommender(Matcher):
@@ -68,3 +69,13 @@ class TopKRecommender(Matcher):
                 AssignedPair(int(request_id), int(choice), float(utilities[row, choice]))
             )
         return assignment
+
+    def snapshot(self) -> dict:
+        """The only durable state is the client-choice RNG stream."""
+        return versioned("algorithms.topk", {"k": self.k, "rng": rng_state(self.rng)})
+
+    def restore(self, state) -> None:
+        payload = expect(state, "algorithms.topk")
+        if int(payload["k"]) != self.k:
+            raise StateError(f"snapshot is for Top-{payload['k']}, this matcher is Top-{self.k}")
+        set_rng_state(self.rng, payload["rng"])

@@ -82,3 +82,15 @@ class FixedCapacityEstimator(CapacityEstimator):
         capacity: float | None = None,
     ) -> None:
         """Fixed capacities ignore feedback."""
+
+    def snapshot(self) -> dict:
+        """Stateless: the snapshot records only the configured capacity."""
+        from repro.state.protocol import versioned
+
+        return versioned("bandits.fixed", {"capacity": self.capacity})
+
+    def restore(self, state) -> None:
+        """Validate the envelope; a fixed estimator has nothing to restore."""
+        from repro.state.protocol import expect
+
+        expect(state, "bandits.fixed")

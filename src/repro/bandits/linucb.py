@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bandits.base import CapacityEstimator
+from repro.state.protocol import StateError, expect, versioned
 
 
 class LinUCBBandit(CapacityEstimator):
@@ -89,3 +90,32 @@ class LinUCBBandit(CapacityEstimator):
         self._b += reward * z
         self._theta = self._a_inv @ self._b
         self.num_updates += 1
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of the ridge statistics ``(A^{-1}, b, theta)``."""
+        return versioned(
+            "bandits.linucb",
+            {
+                "a_inv": self._a_inv.copy(),
+                "b": self._b.copy(),
+                "theta": self._theta.copy(),
+                "num_updates": int(self.num_updates),
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot` into this bandit."""
+        payload = expect(state, "bandits.linucb")
+        a_inv = np.array(payload["a_inv"], dtype=float)
+        if a_inv.shape != (self.dim, self.dim):
+            raise StateError(
+                f"LinUCB snapshot dimension {a_inv.shape} does not match "
+                f"this bandit's ({self.dim}, {self.dim})"
+            )
+        self._a_inv = a_inv
+        self._b = np.array(payload["b"], dtype=float)
+        self._theta = np.array(payload["theta"], dtype=float)
+        self.num_updates = int(payload["num_updates"])

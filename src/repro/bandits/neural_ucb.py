@@ -27,9 +27,16 @@ import numpy as np
 from repro import perf
 from repro.bandits.base import CapacityEstimator
 from repro.core.config import BanditConfig
-from repro.core.types import TrialTriple
+from repro.core.types import TrialTriple, triples_from_state, triples_to_state
 from repro.nn import MLP, Adam
 from repro.obs import telemetry as obs
+from repro.state.protocol import (
+    StateError,
+    expect,
+    rng_state,
+    set_rng_state,
+    versioned,
+)
 
 
 class NNUCBBandit(CapacityEstimator):
@@ -303,6 +310,64 @@ class NNUCBBandit(CapacityEstimator):
         """Force-train on a partially filled buffer (end-of-run cleanup)."""
         if self._buffer:
             self._train_on_buffer()
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    #: Snapshot kind; subclasses with identical state override it so a
+    #: snapshot can never be restored into a different policy by accident.
+    STATE_KIND = "bandits.nnucb"
+
+    def snapshot(self) -> dict:
+        """Deep snapshot: model, optimizer, covariance, history, RNG."""
+        return versioned(
+            self.STATE_KIND,
+            {
+                "network": self.network.snapshot(),
+                "optimizer": self.optimizer.snapshot(),
+                "rng": rng_state(self._rng),
+                "arm_pulls": self._arm_pulls.copy(),
+                "d_inv": None if self._d_inv is None else self._d_inv.copy(),
+                "d_diag": None if self._d_diag is None else self._d_diag.copy(),
+                "buffer": triples_to_state(self._buffer),
+                "replay": triples_to_state(self._replay),
+                "num_updates": int(self.num_updates),
+                "num_train_steps": int(self.num_train_steps),
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot`; the RNG is restored *in place*.
+
+        In-place RNG restoration preserves stream sharing: the algorithm
+        registry hands one generator to both the bandit and the assigner,
+        and a resumed run must interleave their draws exactly as the
+        uninterrupted run would.
+        """
+        payload = expect(state, self.STATE_KIND)
+        arm_pulls = np.asarray(payload["arm_pulls"], dtype=int)
+        if arm_pulls.shape != self._arm_pulls.shape:
+            raise StateError(
+                f"bandit snapshot has {arm_pulls.size} arms, "
+                f"this bandit has {self._arm_pulls.size}"
+            )
+        self.network.restore(payload["network"])
+        self.optimizer.restore(payload["optimizer"])
+        set_rng_state(self._rng, payload["rng"])
+        self._arm_pulls = arm_pulls.copy()
+        d_inv, d_diag = payload["d_inv"], payload["d_diag"]
+        if (d_inv is None) != (self._d_inv is None):
+            raise StateError(
+                "bandit snapshot covariance regime does not match the config "
+                f"({'full' if d_inv is not None else 'diagonal'} vs "
+                f"{self.config.covariance!r})"
+            )
+        self._d_inv = None if d_inv is None else np.array(d_inv, dtype=float)
+        self._d_diag = None if d_diag is None else np.array(d_diag, dtype=float)
+        self._buffer = triples_from_state(payload["buffer"])
+        self._replay = triples_from_state(payload["replay"])
+        self.num_updates = int(payload["num_updates"])
+        self.num_train_steps = int(payload["num_train_steps"])
 
     # ------------------------------------------------------------------
     # Introspection

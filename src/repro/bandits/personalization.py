@@ -33,7 +33,8 @@ import numpy as np
 from repro import perf
 from repro.bandits.base import CapacityEstimator
 from repro.bandits.neural_ucb import NNUCBBandit
-from repro.core.types import TrialTriple
+from repro.core.types import TrialTriple, triples_from_state, triples_to_state
+from repro.state.protocol import expect, versioned
 
 #: Grid quantiles visited by each broker's first estimates (structured
 #: exploration): mid, upper, low, high — enough spread to sketch the
@@ -193,6 +194,44 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
             del history[: len(history) - self.max_history]
         if self.mode == "linear" and len(history) >= self.min_triples:
             self._fit_linear_head(broker_id, history)
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot: the shared base bandit plus per-broker state."""
+        return versioned(
+            "bandits.personalized",
+            {
+                "base": self.base.snapshot(),
+                "history": {
+                    broker_id: triples_to_state(history)
+                    for broker_id, history in self._history.items()
+                },
+                "pull_count": dict(self._pull_count),
+                "linear_heads": {
+                    broker_id: head.copy()
+                    for broker_id, head in self._linear_heads.items()
+                },
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot` (base bandit included)."""
+        payload = expect(state, "bandits.personalized")
+        self.base.restore(payload["base"])
+        self._history = {
+            int(broker_id): triples_from_state(history)
+            for broker_id, history in payload["history"].items()
+        }
+        self._pull_count = {
+            int(broker_id): int(count)
+            for broker_id, count in payload["pull_count"].items()
+        }
+        self._linear_heads = {
+            int(broker_id): np.array(head, dtype=float)
+            for broker_id, head in payload["linear_heads"].items()
+        }
 
     def _fit_linear_head(self, broker_id: int, history: list[TrialTriple]) -> None:
         """Anchored ridge refit of the last layer (the ``"linear"`` mode)."""

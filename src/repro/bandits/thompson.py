@@ -58,6 +58,10 @@ class NeuralThompsonBandit(NNUCBBandit):
         """The noise-free posterior means (for analysis and tests)."""
         return self.predicted_rewards(context)
 
+    #: Same payload as the base class, but a distinct kind: a Thompson
+    #: checkpoint must not silently restore into a UCB bandit (or back).
+    STATE_KIND = "bandits.thompson"
+
 
 def make_thompson_bandit(
     context_dim: int,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.boosting.tree import RegressionTree
+from repro.state.protocol import expect, rng_state, set_rng_state, versioned
 
 
 class GradientBoostedTrees:
@@ -83,6 +84,37 @@ class GradientBoostedTrees:
             predictions += self.learning_rate * tree.predict(features)
             self.train_losses.append(float(np.mean((targets - predictions) ** 2)))
         return self
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot: base value, every tree, losses, subsample RNG."""
+        return versioned(
+            "boosting.gbdt",
+            {
+                "base": float(self._base),
+                "trees": [tree.snapshot() for tree in self._trees],
+                "train_losses": [float(loss) for loss in self.train_losses],
+                "rng": None if self.rng is None else rng_state(self.rng),
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot` (trees are rebuilt in order)."""
+        payload = expect(state, "boosting.gbdt")
+        self._base = float(payload["base"])
+        trees = []
+        for tree_state in payload["trees"]:
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.restore(tree_state)
+            trees.append(tree)
+        self._trees = trees
+        self.train_losses = [float(loss) for loss in payload["train_losses"]]
+        if self.rng is not None and payload["rng"] is not None:
+            set_rng_state(self.rng, payload["rng"])
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Ensemble prediction for a ``(n, d)`` design matrix."""

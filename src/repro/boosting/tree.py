@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.state.protocol import expect, versioned
+
 
 @dataclass
 class _Node:
@@ -107,6 +109,41 @@ class RegressionTree:
                     best_gain = gain
                     best = (feature, float(threshold))
         return best
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Fitted structure as parallel node arrays (compact and exact)."""
+        return versioned(
+            "boosting.tree",
+            {
+                "feature": np.array([n.feature for n in self._nodes], dtype=int),
+                "threshold": np.array([n.threshold for n in self._nodes], dtype=float),
+                "value": np.array([n.value for n in self._nodes], dtype=float),
+                "left": np.array([n.left for n in self._nodes], dtype=int),
+                "right": np.array([n.right for n in self._nodes], dtype=int),
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a fitted structure from a :meth:`snapshot`."""
+        payload = expect(state, "boosting.tree")
+        feature = np.asarray(payload["feature"], dtype=int)
+        threshold = np.asarray(payload["threshold"], dtype=float)
+        value = np.asarray(payload["value"], dtype=float)
+        left = np.asarray(payload["left"], dtype=int)
+        right = np.asarray(payload["right"], dtype=int)
+        self._nodes = [
+            _Node(
+                feature=int(feature[i]),
+                threshold=float(threshold[i]),
+                value=float(value[i]),
+                left=int(left[i]),
+                right=int(right[i]),
+            )
+            for i in range(feature.size)
+        ]
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict a ``(n,)`` vector for a ``(n, d)`` design matrix."""

@@ -16,6 +16,7 @@ import numpy as np
 from repro.boosting.gbdt import GradientBoostedTrees
 from repro.simulation.brokers import BrokerPopulation
 from repro.simulation.requests import RequestStream
+from repro.state.protocol import expect, versioned
 
 
 def pair_features(
@@ -129,3 +130,16 @@ class UtilityModel:
         features = pair_features(population, stream, grid_requests, grid_brokers)
         predictions = self._gbdt.predict(features).reshape(n, num_brokers)
         return np.clip(predictions, 1e-6, 1.0)
+
+    def snapshot(self) -> dict:
+        """Deep snapshot of the fitted ensemble."""
+        return versioned(
+            "boosting.utility_model",
+            {"gbdt": self._gbdt.snapshot(), "fitted": bool(self._fitted)},
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a fitted ensemble from a :meth:`snapshot`."""
+        payload = expect(state, "boosting.utility_model")
+        self._gbdt.restore(payload["gbdt"])
+        self._fitted = bool(payload["fitted"])

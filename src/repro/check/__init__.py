@@ -46,12 +46,16 @@ __all__ = [
     "CheckHook",
     "SelfCheckReport",
     "run_self_check",
+    "check_resume_equivalence",
+    "run_resume_suite",
 ]
 
 _LAZY = {
     "CheckHook": ("repro.check.hook", "CheckHook"),
     "SelfCheckReport": ("repro.check.selfcheck", "SelfCheckReport"),
     "run_self_check": ("repro.check.selfcheck", "run_self_check"),
+    "check_resume_equivalence": ("repro.check.resume", "check_resume_equivalence"),
+    "run_resume_suite": ("repro.check.resume", "run_resume_suite"),
 }
 
 

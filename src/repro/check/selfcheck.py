@@ -49,6 +49,7 @@ class SelfCheckReport:
     invariants_checked: int = 0
     solver_checks: int = 0
     property_cases: int = 0
+    resume_cases: int = 0
     algorithms: tuple[str, ...] = ()
 
     @property
@@ -63,6 +64,7 @@ class SelfCheckReport:
             "invariants_checked": self.invariants_checked,
             "solver_checks": self.solver_checks,
             "property_cases": self.property_cases,
+            "resume_cases": self.resume_cases,
             "algorithms": list(self.algorithms),
             "violations": [violation.to_dict() for violation in self.violations],
         }

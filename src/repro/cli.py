@@ -91,6 +91,23 @@ def _add_check_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="write durable day-boundary checkpoints of every run under "
+        "DIR/<run_id> (see docs/state.md)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue each run from its latest checkpoint under the "
+        "--checkpoint directory; results are bit-identical to an "
+        "uninterrupted run",
+    )
+
+
 def _config_from(args: argparse.Namespace) -> SyntheticConfig:
     return SyntheticConfig(
         num_brokers=args.brokers,
@@ -104,7 +121,12 @@ def _config_from(args: argparse.Namespace) -> SyntheticConfig:
 def _cmd_compare(args: argparse.Namespace) -> None:
     platform_spec = PlatformSpec.synthetic(_config_from(args))
     specs = [
-        RunSpec(platform=platform_spec, matcher=MatcherSpec(name, seed=args.seed))
+        RunSpec(
+            platform=platform_spec,
+            matcher=MatcherSpec(name, seed=args.seed),
+            checkpoint_dir=args.checkpoint,
+            resume_from=args.checkpoint if args.resume else None,
+        )
         for name in args.algorithms
     ]
     rows = []
@@ -134,6 +156,8 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         algorithms=tuple(args.algorithms),
         seed=args.seed,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
     )
     print(format_series(args.factor, result.values, result.utilities, title="Total utility"))
     print()
@@ -153,7 +177,14 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_city(args: argparse.Namespace) -> None:
-    evaluation = evaluate_city(args.city, scale=args.scale, seed=args.seed, jobs=args.jobs)
+    evaluation = evaluate_city(
+        args.city,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+    )
     print(
         format_table(
             ["algorithm", "total utility", "decision s"],
@@ -258,10 +289,10 @@ def _cmd_report(args: argparse.Namespace) -> None:
 
 
 def _cmd_check(args: argparse.Namespace) -> None:
-    import json
     import os
 
     from repro.check import run_self_check
+    from repro.state.io import atomic_write_json
 
     report = run_self_check(
         num_brokers=args.brokers,
@@ -273,6 +304,27 @@ def _cmd_check(args: argparse.Namespace) -> None:
         property_cases=args.cases,
         property_seed=args.property_seed,
     )
+    # The resume phase runs under try/finally: whatever it finds — or if it
+    # crashes outright — the --report artifact must still land on disk with
+    # everything discovered so far, and only then may the failure propagate
+    # (--telemetry flushes in _run_with_telemetry's own finally).
+    try:
+        if args.resume_cases > 0:
+            from repro.check.resume import run_resume_suite
+
+            cases_run, violations = run_resume_suite(
+                num_cases=args.resume_cases,
+                seed=args.property_seed,
+                directory=args.resume_dir,
+            )
+            report.resume_cases = cases_run
+            report.violations.extend(violations)
+    finally:
+        if args.report:
+            os.makedirs(args.report, exist_ok=True)
+            path = os.path.join(args.report, "check_report.json")
+            atomic_write_json(path, report.to_dict())
+            log.info("check report written to %s", path)
     print(
         format_table(
             ["phase", "checks"],
@@ -280,17 +332,12 @@ def _cmd_check(args: argparse.Namespace) -> None:
                 ("invariants", report.invariants_checked),
                 ("solver oracle", report.solver_checks),
                 ("property cases", report.property_cases),
+                ("resume cases", report.resume_cases),
             ],
             title=f"Self-check on |B|={args.brokers} |R|={args.requests} "
             f"days={args.days} ({', '.join(report.algorithms)})",
         )
     )
-    if args.report:
-        os.makedirs(args.report, exist_ok=True)
-        path = os.path.join(args.report, "check_report.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
-        log.info("check report written to %s", path)
     if report.ok:
         print("OK: all invariants and properties hold")
     else:
@@ -331,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_argument(compare)
     _add_check_argument(compare)
+    _add_checkpoint_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
 
     sweep_cmd = sub.add_parser("sweep", help="one Fig. 8 column")
@@ -345,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--output", help="save the sweep as JSON")
     _add_telemetry_argument(sweep_cmd)
     _add_check_argument(sweep_cmd)
+    _add_checkpoint_arguments(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     city = sub.add_parser("city", help="Fig. 9-11 evaluation on a real-like city")
@@ -355,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     city.add_argument("--chart", action="store_true", help="render an ASCII histogram")
     _add_telemetry_argument(city)
     _add_check_argument(city)
+    _add_checkpoint_arguments(city)
     city.set_defaults(func=_cmd_city)
 
     motivate = sub.add_parser("motivate", help="the Sec. II measurement study")
@@ -410,6 +460,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSON violation report to DIR/check_report.json",
     )
+    check.add_argument(
+        "--resume-cases",
+        type=int,
+        default=2,
+        help="checkpoint/resume equivalence cases with random kill days "
+        "(0 disables the resume phase)",
+    )
+    check.add_argument(
+        "--resume-dir",
+        metavar="DIR",
+        default=None,
+        help="keep the resume phase's checkpoint stores under DIR "
+        "(throwaway temp directories when omitted)",
+    )
     _add_telemetry_argument(check)
     check.set_defaults(func=_cmd_check)
 
@@ -453,6 +517,8 @@ def main(argv: list[str] | None = None) -> None:
     # The sweep factor values arrive as floats; integer factors need casting.
     if getattr(args, "command", None) == "sweep" and args.factor != "imbalance":
         args.values = [int(v) for v in args.values]
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint DIR")
     if getattr(args, "check", False):
         _run_with_checks(args)
     else:

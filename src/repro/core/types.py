@@ -66,6 +66,35 @@ class TrialTriple:
     reward: float
 
 
+def triples_to_state(triples: list[TrialTriple]) -> dict:
+    """Encode a trial-triple list as three parallel arrays (snapshot form).
+
+    Columnar encoding keeps a bandit's replay history compact in a
+    checkpoint blob: one ``(n, d)`` context matrix instead of ``n`` tiny
+    arrays.  An empty list encodes as a ``(0, 0)`` context matrix.
+    """
+    if not triples:
+        contexts = np.zeros((0, 0))
+    else:
+        contexts = np.stack([np.asarray(t.context, dtype=float) for t in triples])
+    return {
+        "contexts": contexts,
+        "workloads": np.array([t.workload for t in triples], dtype=int),
+        "rewards": np.array([t.reward for t in triples], dtype=float),
+    }
+
+
+def triples_from_state(state: dict) -> list[TrialTriple]:
+    """Inverse of :func:`triples_to_state`."""
+    contexts = np.asarray(state["contexts"], dtype=float)
+    workloads = np.asarray(state["workloads"], dtype=int)
+    rewards = np.asarray(state["rewards"], dtype=float)
+    return [
+        TrialTriple(contexts[i].copy(), int(workloads[i]), float(rewards[i]))
+        for i in range(workloads.size)
+    ]
+
+
 @dataclass(frozen=True)
 class AssignedPair:
     """One matched (request, broker) edge with its predicted utility."""
@@ -104,6 +133,27 @@ class Assignment:
     def __len__(self) -> int:
         return len(self.pairs)
 
+    def to_state(self) -> dict:
+        """Columnar snapshot form (see :func:`triples_to_state` rationale)."""
+        return {
+            "day": int(self.day),
+            "batch": int(self.batch),
+            "request_ids": np.array([p.request_id for p in self.pairs], dtype=int),
+            "broker_ids": np.array([p.broker_id for p in self.pairs], dtype=int),
+            "utilities": np.array([p.utility for p in self.pairs], dtype=float),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Assignment":
+        request_ids = np.asarray(state["request_ids"], dtype=int)
+        broker_ids = np.asarray(state["broker_ids"], dtype=int)
+        utilities = np.asarray(state["utilities"], dtype=float)
+        pairs = [
+            AssignedPair(int(request_ids[i]), int(broker_ids[i]), float(utilities[i]))
+            for i in range(request_ids.size)
+        ]
+        return cls(day=int(state["day"]), batch=int(state["batch"]), pairs=pairs)
+
 
 @dataclass
 class DayOutcome:
@@ -127,3 +177,21 @@ class DayOutcome:
     def total_realized_utility(self) -> float:
         """Total realized utility of the day across all brokers."""
         return float(np.sum(self.realized_utility))
+
+    def to_state(self) -> dict:
+        """Snapshot form: the day index plus deep copies of the arrays."""
+        return {
+            "day": int(self.day),
+            "workloads": np.array(self.workloads),
+            "signup_rates": np.array(self.signup_rates),
+            "realized_utility": np.array(self.realized_utility),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DayOutcome":
+        return cls(
+            day=int(state["day"]),
+            workloads=np.array(state["workloads"]),
+            signup_rates=np.array(state["signup_rates"]),
+            realized_utility=np.array(state["realized_utility"]),
+        )

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.state.protocol import StateError, expect, versioned
+
 
 class CapacityAwareValueFunction:
     """Tabular ``V`` over (time-of-day, residual-capacity) buckets.
@@ -168,6 +170,28 @@ class CapacityAwareValueFunction:
         row = self._table[time_state]
         return np.minimum(row[after] - row[states], 0.0)
 
-    def snapshot(self) -> np.ndarray:
+    def table(self) -> np.ndarray:
         """A copy of the current value table (for analysis/plots)."""
         return self._table.copy()
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of the value table and update counter."""
+        return versioned(
+            "core.value_function",
+            {"table": self._table.copy(), "num_updates": int(self.num_updates)},
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot`; bucketing must match exactly."""
+        payload = expect(state, "core.value_function")
+        table = np.array(payload["table"], dtype=float)
+        if table.shape != self._table.shape:
+            raise StateError(
+                f"value-function snapshot table shape {table.shape} does not "
+                f"match this function's {self._table.shape} (bucketing changed?)"
+            )
+        self._table = table
+        self.num_updates = int(payload["num_updates"])

@@ -30,6 +30,13 @@ from repro.core.value_function import CapacityAwareValueFunction
 from repro.matching import solve_assignment
 from repro.obs import telemetry as obs
 from repro.obs.metrics import RATIO_BOUNDARIES
+from repro.state.protocol import (
+    StateError,
+    expect,
+    rng_state,
+    set_rng_state,
+    versioned,
+)
 
 #: Tiny positive utility keeping refined edges matchable: Eq. 15 may push a
 #: low-utility edge negative, but an available broker is still preferable to
@@ -291,6 +298,59 @@ class ValueFunctionGuidedAssigner:
                     )
                 )
                 state.count()
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of all day-spanning assignment state.
+
+        ``_check_state`` is transient observation (sampled oracle checks)
+        and is deliberately excluded: runs are bit-identical with checks on
+        or off, so it carries no run state.
+        """
+        return versioned(
+            "core.vfga",
+            {
+                "value_function": self.value_function.snapshot(),
+                "rng": rng_state(self.rng),
+                "max_batch_seen": int(self._max_batch_seen),
+                "frozen_batches": (
+                    None if self._frozen_batches is None else int(self._frozen_batches)
+                ),
+                "pending_td": [
+                    (int(batch), float(residual), float(raw))
+                    for batch, residual, raw in self._pending_td
+                ],
+                "capacities": self.capacities.copy(),
+                "workloads": self.workloads.copy(),
+                "capacity_hits": self._capacity_hits.copy(),
+                "days_seen": int(self._days_seen),
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot`; the RNG is restored in place."""
+        payload = expect(state, "core.vfga")
+        workloads = np.asarray(payload["workloads"], dtype=int)
+        if workloads.shape != (self.num_brokers,):
+            raise StateError(
+                f"VFGA snapshot is for {workloads.size} brokers, "
+                f"this assigner has {self.num_brokers}"
+            )
+        self.value_function.restore(payload["value_function"])
+        set_rng_state(self.rng, payload["rng"])
+        self._max_batch_seen = int(payload["max_batch_seen"])
+        frozen = payload["frozen_batches"]
+        self._frozen_batches = None if frozen is None else int(frozen)
+        self._pending_td = [
+            (int(batch), float(residual), float(raw))
+            for batch, residual, raw in payload["pending_td"]
+        ]
+        self.capacities = np.array(payload["capacities"], dtype=float)
+        self.workloads = workloads.copy()
+        self._capacity_hits = np.array(payload["capacity_hits"], dtype=float)
+        self._days_seen = int(payload["days_seen"])
 
     def _refine(
         self, utilities: np.ndarray, broker_ids: np.ndarray, time_fraction: float

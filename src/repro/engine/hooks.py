@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.types import Assignment, DayOutcome
 from repro.engine.loop import BatchAssignedEvent, DayEndEvent, DayStartEvent, RunContext
+from repro.state.protocol import StateError, expect, versioned
 
 
 @dataclass
@@ -96,9 +97,18 @@ class DecisionTimer(RunHook):
 
     def __init__(self) -> None:
         self.daily_seconds: np.ndarray = np.zeros(0)
+        self._pending_restore: np.ndarray | None = None
 
     def on_run_start(self, context: RunContext) -> None:
         self.daily_seconds = np.zeros(context.num_days)
+        if self._pending_restore is not None:
+            if self._pending_restore.shape != self.daily_seconds.shape:
+                raise StateError(
+                    f"timer snapshot covers {self._pending_restore.size} days, "
+                    f"this run has {context.num_days}"
+                )
+            self.daily_seconds = self._pending_restore.copy()
+            self._pending_restore = None
 
     def on_day_start(self, event: DayStartEvent) -> None:
         self.daily_seconds[event.day] += event.matcher_seconds
@@ -113,6 +123,26 @@ class DecisionTimer(RunHook):
     def total_seconds(self) -> float:
         """Matcher seconds summed over the horizon."""
         return float(self.daily_seconds.sum())
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of the per-day accumulators."""
+        return versioned(
+            "engine.decision_timer", {"daily_seconds": self.daily_seconds.copy()}
+        )
+
+    def restore(self, state) -> None:
+        """Stash the snapshot; it is applied inside the next ``on_run_start``.
+
+        The engine zeroes every hook's accumulators at run start, so a
+        restore applied eagerly would be wiped.  Stash-then-apply lets a
+        resumed run initialize on the run's real shape and *then* reload
+        the completed days' totals.
+        """
+        payload = expect(state, "engine.decision_timer")
+        self._pending_restore = np.array(payload["daily_seconds"], dtype=float)
 
 
 class MetricsCollector(RunHook):
@@ -132,6 +162,7 @@ class MetricsCollector(RunHook):
         self.store_assignments = store_assignments
         self.timer = DecisionTimer()
         self._result: RunResult | None = None
+        self._pending_restore: dict | None = None
 
     def on_run_start(self, context: RunContext) -> None:
         self.timer.on_run_start(context)
@@ -147,6 +178,31 @@ class MetricsCollector(RunHook):
         self._num_assigned = 0
         self._outcomes: list[DayOutcome] = []
         self._assignments: list[Assignment] = []
+        if self._pending_restore is not None:
+            self._apply_restore(self._pending_restore, context)
+            self._pending_restore = None
+
+    def _apply_restore(self, payload: dict, context: RunContext) -> None:
+        daily_utility = np.array(payload["daily_utility"], dtype=float)
+        broker_utility = np.array(payload["broker_utility"], dtype=float)
+        if daily_utility.shape != (context.num_days,) or broker_utility.shape != (
+            context.num_brokers,
+        ):
+            raise StateError(
+                f"collector snapshot shape ({daily_utility.size} days, "
+                f"{broker_utility.size} brokers) does not match the run "
+                f"({context.num_days} days, {context.num_brokers} brokers)"
+            )
+        self._daily_utility = daily_utility
+        self._broker_utility = broker_utility
+        self._workload_sum = np.array(payload["workload_sum"], dtype=float)
+        self._workload_peak = np.array(payload["workload_peak"], dtype=float)
+        self._signup_sum = np.array(payload["signup_sum"], dtype=float)
+        self._signup_days = np.array(payload["signup_days"], dtype=float)
+        self._predicted_total = float(payload["predicted_total"])
+        self._num_assigned = int(payload["num_assigned"])
+        self._outcomes = [DayOutcome.from_state(s) for s in payload["outcomes"]]
+        self._assignments = [Assignment.from_state(s) for s in payload["assignments"]]
 
     def on_day_start(self, event: DayStartEvent) -> None:
         self.timer.on_day_start(event)
@@ -199,6 +255,39 @@ class MetricsCollector(RunHook):
             raise RuntimeError("MetricsCollector has no result: the run has not completed")
         return self._result
 
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of every accumulator (timer included)."""
+        return versioned(
+            "engine.metrics_collector",
+            {
+                "timer": self.timer.snapshot(),
+                "daily_utility": self._daily_utility.copy(),
+                "broker_utility": self._broker_utility.copy(),
+                "workload_sum": self._workload_sum.copy(),
+                "workload_peak": self._workload_peak.copy(),
+                "signup_sum": self._signup_sum.copy(),
+                "signup_days": self._signup_days.copy(),
+                "predicted_total": float(self._predicted_total),
+                "num_assigned": int(self._num_assigned),
+                "outcomes": [outcome.to_state() for outcome in self._outcomes],
+                "assignments": [a.to_state() for a in self._assignments],
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Stash the snapshot; applied inside the next ``on_run_start``.
+
+        Same rationale as :meth:`DecisionTimer.restore`: the engine zeroes
+        accumulators at run start, so the completed days' totals are
+        reloaded right after that initialization.
+        """
+        payload = expect(state, "engine.metrics_collector")
+        self.timer.restore(payload["timer"])
+        self._pending_restore = payload
+
 
 class AssignmentLogger(RunHook):
     """Streams every assignment (and optionally every outcome) into lists.
@@ -212,10 +301,16 @@ class AssignmentLogger(RunHook):
         self.store_outcomes = store_outcomes
         self.assignments: list[Assignment] = []
         self.outcomes: list[DayOutcome] = []
+        self._pending_restore: dict | None = None
 
     def on_run_start(self, context: RunContext) -> None:
         self.assignments = []
         self.outcomes = []
+        if self._pending_restore is not None:
+            payload = self._pending_restore
+            self._pending_restore = None
+            self.assignments = [Assignment.from_state(s) for s in payload["assignments"]]
+            self.outcomes = [DayOutcome.from_state(s) for s in payload["outcomes"]]
 
     def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
         self.assignments.append(event.assignment)
@@ -223,6 +318,20 @@ class AssignmentLogger(RunHook):
     def on_day_end(self, event: DayEndEvent) -> None:
         if self.store_outcomes:
             self.outcomes.append(event.outcome)
+
+    def snapshot(self) -> dict:
+        """Deep snapshot of the streamed logs."""
+        return versioned(
+            "engine.assignment_logger",
+            {
+                "assignments": [a.to_state() for a in self.assignments],
+                "outcomes": [outcome.to_state() for outcome in self.outcomes],
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Stash the snapshot; applied inside the next ``on_run_start``."""
+        self._pending_restore = expect(state, "engine.assignment_logger")
 
 
 class ProgressReporter(RunHook):

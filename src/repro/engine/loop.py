@@ -147,13 +147,22 @@ class DayLoopEngine:
         platform: RealEstatePlatform,
         matcher: Matcher,
         hooks: Sequence[RunHook] | Iterable[RunHook] = (),
+        start_day: int = 0,
     ) -> RunContext:
-        """Run the full day loop, notifying ``hooks`` at each lifecycle point.
+        """Run the day loop from ``start_day``, notifying ``hooks`` throughout.
 
         Args:
-            platform: the environment (reset before the first day).
+            platform: the environment.  Reset before the first day when the
+                run starts from day 0; a resumed run (``start_day > 0``)
+                must arrive with platform, matcher and hooks already
+                restored to their day-``start_day - 1`` checkpoint state,
+                and the engine deliberately leaves them untouched.
             matcher: the algorithm under test.
             hooks: observers notified in the given order at every event.
+            start_day: first day to execute (0 for a fresh run).  May equal
+                ``num_days``, in which case the loop body is empty and only
+                the run-start/run-end events fire — how a run resumed from
+                its final checkpoint rebuilds its result.
 
         Returns:
             The run's :class:`RunContext` (also handed to every hook).
@@ -161,7 +170,12 @@ class DayLoopEngine:
         hooks = tuple(hooks)
         hooks += _telemetry_hooks(hooks)
         hooks += _check_hooks(hooks)
-        platform.reset()
+        if not 0 <= start_day <= platform.num_days:
+            raise ValueError(
+                f"start_day must be in [0, {platform.num_days}], got {start_day}"
+            )
+        if start_day == 0:
+            platform.reset()
         context = RunContext(
             platform=platform,
             matcher=matcher,
@@ -173,7 +187,7 @@ class DayLoopEngine:
             hook.on_run_start(context)
 
         clock = self.clock
-        for day in range(context.num_days):
+        for day in range(start_day, context.num_days):
             contexts = platform.start_day(day)
             tick = clock()
             matcher.begin_day(day, contexts)

@@ -11,6 +11,8 @@ shipping live platform objects around.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, fields
 
 from repro.core.config import BanditConfig, LACBConfig
@@ -130,6 +132,15 @@ class RunSpec:
         store_assignments: keep the per-batch assignment log on the result.
         tag: free-form label threaded through to grid bookkeeping (e.g. the
             swept factor value); ignored by execution.
+        checkpoint_dir: when set, a :class:`repro.state.CheckpointHook`
+            writes a durable snapshot of platform, matcher and metrics
+            state into ``checkpoint_dir/<run_id>`` at day boundaries.
+        checkpoint_every: write every N-th day boundary (the final day is
+            always written).
+        resume_from: when set, the run restores the latest checkpoint
+            found under ``resume_from/<run_id>`` and continues from the
+            following day; an empty or missing store silently starts from
+            day 0, so ``--resume`` is safe on a first run.
     """
 
     platform: PlatformSpec
@@ -137,13 +148,59 @@ class RunSpec:
     store_outcomes: bool = False
     store_assignments: bool = False
     tag: str | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume_from: str | None = None
+
+    def run_id(self) -> str:
+        """Stable per-spec identity naming this run's checkpoint store.
+
+        Combines a readable matcher slug with a digest over everything that
+        determines the trajectory (platform recipe, matcher recipe incl.
+        config overrides, and the sweep tag), so two specs share a store
+        directory iff they would produce bit-identical runs.
+        """
+        identity = (
+            self.platform.cache_key(),
+            tuple(repr(getattr(self.matcher, f.name)) for f in fields(self.matcher)),
+            self.tag,
+        )
+        digest = hashlib.sha256(repr(identity).encode("utf-8")).hexdigest()[:10]
+        slug = self.matcher.name.lower().replace(" ", "-").replace("/", "-")
+        return f"{slug}-s{self.matcher.seed}-{digest}"
+
+    def run_directory(self, root: str) -> str:
+        """This spec's store directory under a checkpoint root."""
+        return os.path.join(root, self.run_id())
+
+    def _restore_latest(self, platform, matcher, collector):
+        """Restore the newest checkpoint under ``resume_from``, if any.
+
+        Returns:
+            ``(start_day, parent)`` where ``start_day`` is the first day
+            still to execute (0 when the store is empty) and ``parent`` is
+            the :class:`~repro.state.CheckpointRecord` resumed from, or
+            ``None`` on a fresh start.
+        """
+        from repro.state import CheckpointStore
+
+        store = CheckpointStore(self.run_directory(self.resume_from))
+        record = store.latest(run_id=self.run_id())
+        if record is None:
+            return 0, None
+        state = store.load(record)
+        platform.restore(state["platform"])
+        matcher.restore(state["matcher"])
+        collector.restore(state["hooks"]["collector"])
+        return record.day + 1, record
 
     def run(self, platform=None):
         """Execute this spec and return its :class:`~repro.engine.hooks.RunResult`.
 
         Args:
             platform: an already-built platform matching ``self.platform``
-                (the engine resets it); built from the spec when omitted.
+                (the engine resets it on a fresh start); built from the
+                spec when omitted.
         """
         from repro.engine.hooks import MetricsCollector
         from repro.engine.loop import DayLoopEngine
@@ -154,5 +211,24 @@ class RunSpec:
         collector = MetricsCollector(
             store_outcomes=self.store_outcomes, store_assignments=self.store_assignments
         )
-        DayLoopEngine().run(platform, matcher, hooks=(collector,))
+        start_day = 0
+        parent = None
+        if self.resume_from is not None:
+            start_day, parent = self._restore_latest(platform, matcher, collector)
+        hooks: tuple = (collector,)
+        if self.checkpoint_dir is not None:
+            from repro.state import CheckpointHook, CheckpointStore
+
+            store = CheckpointStore(self.run_directory(self.checkpoint_dir))
+            hooks += (
+                CheckpointHook(
+                    store,
+                    run_id=self.run_id(),
+                    every=self.checkpoint_every,
+                    components={"collector": collector},
+                    parent_run_id=None if parent is None else parent.run_id,
+                    resumed_from_day=None if parent is None else parent.day,
+                ),
+            )
+        DayLoopEngine().run(platform, matcher, hooks=hooks, start_day=start_day)
         return collector.result

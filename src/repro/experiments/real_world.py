@@ -83,6 +83,8 @@ def evaluate_city(
     seed: int = 7,
     algorithms: tuple[str, ...] = CITY_ALGORITHMS,
     jobs: int = 1,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> CityEvaluation:
     """Run the Fig. 9-11 evaluation on one real-like city.
 
@@ -94,7 +96,12 @@ def evaluate_city(
             improvement statistics when any capacity-aware name is present).
         jobs: worker processes for the per-algorithm runs (1 = serial;
             results are bit-identical either way).
+        checkpoint_dir: when set, each algorithm run checkpoints its
+            day-boundary state under ``checkpoint_dir/<run_id>``.
+        resume: continue each run from its latest checkpoint, if any.
     """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
     platform, spec, _config = real_like_city(city, scale=scale, seed=seed)
     platform_spec = PlatformSpec.real_city(city, scale=scale, seed=seed)
     # Donate the platform we already built (it is needed for the overload
@@ -106,6 +113,8 @@ def evaluate_city(
             matcher=MatcherSpec(
                 name, seed=seed, empirical_capacity=float(spec.empirical_capacity)
             ),
+            checkpoint_dir=checkpoint_dir,
+            resume_from=checkpoint_dir if resume else None,
         )
         for name in algorithms
     ]

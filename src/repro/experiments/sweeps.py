@@ -58,15 +58,26 @@ def sweep_specs(
     base_config: SyntheticConfig,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     seed: int = 7,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> list[RunSpec]:
     """Build the declarative run grid of one Fig. 8 column.
 
     Specs are ordered value-major (all algorithms on one instance before
     the next value), so consecutive specs share a platform and the
     executor's per-process instance cache stays hot.
+
+    Args:
+        checkpoint_dir: when set, every spec checkpoints its day-boundary
+            state under its own ``checkpoint_dir/<run_id>`` store (the
+            per-spec ``run_id`` keeps grid cells from colliding, also
+            under ``jobs > 1``).
+        resume: continue each spec from its latest checkpoint, if any.
     """
     if factor not in SWEEP_FACTORS:
         raise ValueError(f"unknown factor {factor!r}; choose from {SWEEP_FACTORS}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
     specs: list[RunSpec] = []
     for value in values:
         config = replace(base_config, **{factor: value})
@@ -77,6 +88,8 @@ def sweep_specs(
                     platform=platform_spec,
                     matcher=MatcherSpec(name, seed=seed),
                     tag=f"{factor}={value}",
+                    checkpoint_dir=checkpoint_dir,
+                    resume_from=checkpoint_dir if resume else None,
                 )
             )
     return specs
@@ -89,6 +102,8 @@ def sweep(
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     seed: int = 7,
     jobs: int = 1,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run one Fig. 8 column.
 
@@ -100,8 +115,18 @@ def sweep(
         seed: matcher seed (instance seeds come from the config).
         jobs: worker processes for the run grid (1 = serial; results are
             bit-identical either way, see :func:`repro.engine.run_many`).
+        checkpoint_dir / resume: durable day-boundary state per grid cell;
+            see :func:`sweep_specs`.
     """
-    specs = sweep_specs(factor, values, base_config, algorithms=algorithms, seed=seed)
+    specs = sweep_specs(
+        factor,
+        values,
+        base_config,
+        algorithms=algorithms,
+        seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
     runs = run_many(specs, jobs=jobs)
     result = SweepResult(factor=factor, values=[float(v) for v in values])
     for name in algorithms:

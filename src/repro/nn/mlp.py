@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.nn.layers import Dense
 from repro.nn.losses import l2_penalty, mse_loss
+from repro.state.protocol import StateError, expect, versioned
 
 
 class MLP:
@@ -278,6 +279,52 @@ class MLP:
         for layer in self.layers[:-1]:
             layer.trainable = False
         self.layers[-1].trainable = True
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of parameters and per-layer freeze flags.
+
+        Gradient buffers and relu masks are transient training caches and
+        are deliberately excluded: every consumer zeroes gradients before
+        use, so they carry no information across a day boundary.
+        """
+        return versioned(
+            "nn.mlp",
+            {
+                "layer_sizes": list(self.layer_sizes),
+                "layers": [
+                    {
+                        "weight": layer.weight.copy(),
+                        "bias": layer.bias.copy(),
+                        "trainable": bool(layer.trainable),
+                    }
+                    for layer in self.layers
+                ],
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot` into this network, in place."""
+        payload = expect(state, "nn.mlp")
+        if tuple(int(s) for s in payload["layer_sizes"]) != self.layer_sizes:
+            raise StateError(
+                f"MLP snapshot is for layer sizes {payload['layer_sizes']}, "
+                f"network has {list(self.layer_sizes)}"
+            )
+        for layer, entry in zip(self.layers, payload["layers"]):
+            weight = np.asarray(entry["weight"], dtype=float)
+            bias = np.asarray(entry["bias"], dtype=float)
+            if weight.shape != layer.weight.shape or bias.shape != layer.bias.shape:
+                raise StateError(
+                    f"MLP snapshot layer shape {weight.shape} does not match "
+                    f"the network's {layer.weight.shape}"
+                )
+            layer.weight[:] = weight
+            layer.bias[:] = bias
+            layer.trainable = bool(entry["trainable"])
+        self._relu_masks = []
 
     def max_singular_value(self) -> float:
         """Largest singular value ``xi`` over all weight matrices.

@@ -14,6 +14,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.state.protocol import expect, versioned
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.nn.mlp import MLP
 
@@ -56,6 +58,26 @@ class SGD(Optimizer):
             else:
                 layer.weight -= self.learning_rate * layer.grad_weight
                 layer.bias -= self.learning_rate * layer.grad_bias
+
+    def snapshot(self) -> dict:
+        """Deep snapshot of the per-layer momentum buffers."""
+        return versioned(
+            "nn.sgd",
+            {
+                "velocity": {
+                    index: (vel_w.copy(), vel_b.copy())
+                    for index, (vel_w, vel_b) in self._velocity.items()
+                }
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall momentum buffers from a :meth:`snapshot`."""
+        payload = expect(state, "nn.sgd")
+        self._velocity = {
+            int(index): (np.array(vel_w, dtype=float), np.array(vel_b, dtype=float))
+            for index, (vel_w, vel_b) in payload["velocity"].items()
+        }
 
 
 class Adam(Optimizer):
@@ -108,3 +130,25 @@ class Adam(Optimizer):
                     * (moment / bias1)
                     / (np.sqrt(second / bias2) + self.eps)
                 )
+
+    def snapshot(self) -> dict:
+        """Deep snapshot of the step count and per-layer moment estimates."""
+        return versioned(
+            "nn.adam",
+            {
+                "step_count": int(self._step_count),
+                "moments": {
+                    index: [moment.copy() for moment in moments]
+                    for index, moments in self._moments.items()
+                },
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall the Adam moments from a :meth:`snapshot`."""
+        payload = expect(state, "nn.adam")
+        self._step_count = int(payload["step_count"])
+        self._moments = {
+            int(index): [np.array(moment, dtype=float) for moment in moments]
+            for index, moments in payload["moments"].items()
+        }

@@ -24,7 +24,6 @@ Schema (``repro.obs.manifest/v1``)::
 
 from __future__ import annotations
 
-import json
 import os
 import platform as _platform
 import subprocess
@@ -69,14 +68,22 @@ def describe_specs(specs: Sequence) -> list[dict]:
     """Summaries of :class:`~repro.engine.spec.RunSpec` runs for a manifest."""
     described = []
     for spec in specs:
-        described.append(
-            {
-                "algorithm": spec.matcher.name,
-                "matcher_seed": spec.matcher.seed,
-                "platform": repr(spec.platform.cache_key()),
-                "tag": spec.tag,
+        entry = {
+            "algorithm": spec.matcher.name,
+            "matcher_seed": spec.matcher.seed,
+            "platform": repr(spec.platform.cache_key()),
+            "tag": spec.tag,
+        }
+        # Checkpoint lineage: where this run's durable state lives and
+        # whether it continued an earlier segment (see docs/state.md).
+        if getattr(spec, "checkpoint_dir", None) or getattr(spec, "resume_from", None):
+            entry["checkpoint"] = {
+                "run_id": spec.run_id(),
+                "checkpoint_dir": spec.checkpoint_dir,
+                "checkpoint_every": spec.checkpoint_every,
+                "resume_from": spec.resume_from,
             }
-        )
+        described.append(entry)
     return described
 
 
@@ -112,11 +119,17 @@ def build_manifest(
 
 
 def write_manifest(directory, manifest: Mapping) -> str:
-    """Write ``manifest.json`` into ``directory``; returns the path."""
+    """Write ``manifest.json`` into ``directory``; returns the path.
+
+    The write is atomic (write-temp-then-rename): a manifest is the record
+    a regression hunt trusts, so a crash mid-export must leave either the
+    previous manifest or the new one — never a torn file.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, "manifest.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+    from repro.state.io import atomic_write_json
+
+    atomic_write_json(path, dict(manifest), default=str)
     return path
 
 

@@ -192,16 +192,18 @@ class Telemetry:
             "spans_jsonl": os.path.join(directory, SPANS_JSONL),
             "trace_json": os.path.join(directory, TRACE_JSON),
         }
-        with open(paths["metrics_json"], "w", encoding="utf-8") as handle:
-            json.dump(self.registry.to_dict(), handle, indent=2, sort_keys=True)
-        with open(paths["metrics_prom"], "w", encoding="utf-8") as handle:
-            handle.write(self.registry.prometheus_text())
+        # Atomic writes throughout: exports often happen in a `finally`
+        # after a failing run, exactly when a second crash mid-write must
+        # not shred the artifacts a post-mortem depends on.
+        from repro.state.io import atomic_write_json, atomic_write_text
+
+        atomic_write_json(paths["metrics_json"], self.registry.to_dict())
+        atomic_write_text(paths["metrics_prom"], self.registry.prometheus_text())
         self.tracer.export_jsonl(paths["spans_jsonl"])
         self.tracer.export_chrome_trace(paths["trace_json"])
         if manifest is not None:
             paths["manifest_json"] = os.path.join(directory, MANIFEST_JSON)
-            with open(paths["manifest_json"], "w", encoding="utf-8") as handle:
-                json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+            atomic_write_json(paths["manifest_json"], dict(manifest), default=str)
         return paths
 
 

@@ -174,8 +174,14 @@ class Tracer:
     # Export
     # ------------------------------------------------------------------
     def export_jsonl(self, path) -> None:
-        """Write one JSON object per record (sorted by lane, then start)."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write one JSON object per record (sorted by lane, then start).
+
+        Written atomically: readers either see the previous export or the
+        complete new one, never a torn span stream.
+        """
+        from repro.state.io import atomic_open
+
+        with atomic_open(path, "w") as handle:
             for record in sorted(self.records, key=lambda r: (r.pid, r.start)):
                 handle.write(json.dumps(record.to_dict(), sort_keys=True))
                 handle.write("\n")
@@ -208,6 +214,8 @@ class Tracer:
         }
 
     def export_chrome_trace(self, path) -> None:
-        """Write :meth:`chrome_trace` as JSON."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write :meth:`chrome_trace` as JSON (atomically)."""
+        from repro.state.io import atomic_open
+
+        with atomic_open(path, "w") as handle:
             json.dump(self.chrome_trace(), handle)

@@ -21,6 +21,13 @@ from repro.core.types import Assignment, DayOutcome
 from repro.simulation.brokers import BrokerPopulation
 from repro.simulation.requests import RequestStream
 from repro.simulation.utility import ground_truth_affinity, predicted_utility
+from repro.state.protocol import (
+    StateError,
+    expect,
+    rng_state,
+    set_rng_state,
+    versioned,
+)
 
 #: Number of dynamic working-status features appended to the static profile.
 DYNAMIC_CONTEXT_DIM = 7
@@ -277,6 +284,76 @@ class RealEstatePlatform:
             signup_rates=signup,
             realized_utility=realized,
         )
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot of every dynamic environment variable.
+
+        Covers the evolving population quality (skill growth mutates it),
+        the outcome-realization RNG, all fatigue/workload/sign-up history,
+        the open-day scratch state, the appeal re-queues and the
+        *cross-day* blocked pairs — everything :meth:`reset` re-creates.
+        Static instance data (curves, stream, static contexts) is identity,
+        not state: it is rebuilt from the spec on resume.
+        """
+        return versioned(
+            "simulation.platform",
+            {
+                "base_quality": self.population.base_quality.copy(),
+                "rng": rng_state(self._rng),
+                "fatigue": self._fatigue.copy(),
+                "yesterday_workload": self._yesterday_workload.copy(),
+                "recent_workloads": self._recent_workloads.copy(),
+                "last_signup": self._last_signup.copy(),
+                "total_served": self._total_served.copy(),
+                "today_workload": self._today_workload.copy(),
+                "today_affinity": self._today_affinity.copy(),
+                "today_capacity": self._today_capacity.copy(),
+                "current_day": int(self._current_day),
+                "day_open": bool(self._day_open),
+                "requeued": {
+                    batch: list(ids) for batch, ids in self._requeued.items()
+                },
+                "blocked_pairs": {
+                    request: set(brokers)
+                    for request, brokers in self._blocked_pairs.items()
+                },
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot`; the RNG is restored in place."""
+        payload = expect(state, "simulation.platform")
+        fatigue = np.asarray(payload["fatigue"], dtype=float)
+        if fatigue.shape != (self.num_brokers,):
+            raise StateError(
+                f"platform snapshot is for {fatigue.size} brokers, "
+                f"this instance has {self.num_brokers}"
+            )
+        self.population.base_quality[:] = np.asarray(
+            payload["base_quality"], dtype=float
+        )
+        set_rng_state(self._rng, payload["rng"])
+        self._fatigue = fatigue.copy()
+        self._yesterday_workload = np.array(payload["yesterday_workload"], dtype=float)
+        self._recent_workloads = np.array(payload["recent_workloads"], dtype=float)
+        self._last_signup = np.array(payload["last_signup"], dtype=float)
+        self._total_served = np.array(payload["total_served"], dtype=float)
+        self._today_workload = np.array(payload["today_workload"], dtype=int)
+        self._today_affinity = np.array(payload["today_affinity"], dtype=float)
+        self._today_capacity = np.array(payload["today_capacity"], dtype=float)
+        self._current_day = int(payload["current_day"])
+        self._day_open = bool(payload["day_open"])
+        self._requeued = {
+            int(batch): [int(i) for i in ids]
+            for batch, ids in payload["requeued"].items()
+        }
+        self._blocked_pairs = {
+            int(request): {int(b) for b in brokers}
+            for request, brokers in payload["blocked_pairs"].items()
+        }
 
     # ------------------------------------------------------------------
     # Ground-truth probes (evaluation and the motivation study)

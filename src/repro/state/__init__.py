@@ -1,0 +1,89 @@
+"""repro.state — the explicit, durable state layer.
+
+Every learning/serving component of the reproduction (bandits, value
+functions, matchers, the platform, the result collectors) implements one
+auditable contract — :class:`Stateful` — instead of scattering mutable
+attributes across modules:
+
+* :mod:`repro.state.protocol` — the ``snapshot() -> dict`` /
+  ``restore(dict)`` contract, version helpers, numpy RNG capture and the
+  deep :func:`state_equal` comparator.
+* :mod:`repro.state.io` — atomic file writes (write-temp-then-
+  ``os.replace``) and torn-tail-tolerant JSONL, shared with
+  :mod:`repro.obs` exporters.
+* :mod:`repro.state.codec` — lossless flattening of nested state dicts
+  into a JSON skeleton plus numpy arrays, with a canonical content hash.
+* :mod:`repro.state.store` — the append-only checkpoint store (JSONL
+  index + npz blobs).
+* :mod:`repro.state.hook` — the engine-attached :class:`CheckpointHook`
+  writing day-boundary checkpoints, plus :class:`StopAfterDay` for
+  kill-at-boundary testing.
+
+``CheckpointHook`` / ``StopAfterDay`` / ``RunInterrupted`` are exported
+lazily: :mod:`repro.state.hook` imports the engine, and an eager re-export
+would make ``import repro.state`` (which :mod:`repro.obs.telemetry`
+performs for the atomic writers) circular.
+"""
+
+from repro.state.codec import content_hash, flatten_state, unflatten_state
+from repro.state.io import (
+    append_jsonl,
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+from repro.state.protocol import (
+    StateError,
+    Stateful,
+    StateVersionError,
+    expect,
+    rng_state,
+    set_rng_state,
+    state_equal,
+    versioned,
+)
+from repro.state.store import CheckpointRecord, CheckpointStore
+
+__all__ = [
+    "CheckpointHook",
+    "CheckpointRecord",
+    "CheckpointStore",
+    "RunInterrupted",
+    "StateError",
+    "Stateful",
+    "StateVersionError",
+    "StopAfterDay",
+    "append_jsonl",
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "content_hash",
+    "expect",
+    "flatten_state",
+    "read_jsonl",
+    "rng_state",
+    "set_rng_state",
+    "state_equal",
+    "unflatten_state",
+    "versioned",
+]
+
+_LAZY = {
+    "CheckpointHook": ("repro.state.hook", "CheckpointHook"),
+    "StopAfterDay": ("repro.state.hook", "StopAfterDay"),
+    "RunInterrupted": ("repro.state.hook", "RunInterrupted"),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy exports for the engine-dependent pieces."""
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

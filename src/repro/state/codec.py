@@ -1,0 +1,181 @@
+"""Lossless flattening of snapshot structures into skeleton + arrays.
+
+A snapshot (see :mod:`repro.state.protocol`) is a nested structure of
+dicts, lists, tuples, sets, numpy arrays and scalars.  The codec splits
+it into
+
+* a JSON-serializable *skeleton* in which every numpy array is replaced
+  by a ``{"__ndarray__": "a<i>"}`` placeholder, and
+* an ``arrays`` mapping from those placeholder keys to the arrays.
+
+Non-JSON shapes are encoded explicitly so the round trip is exact:
+
+* tuples     → ``{"__tuple__": [...]}``
+* sets       → ``{"__set__": [sorted items]}``
+* dicts      → ``{"__map__": [[key, value], ...]}`` (keys may be ints —
+  JSON objects cannot carry them — and entries are sorted for a
+  canonical layout)
+* numpy scalars are converted to python scalars.
+
+:func:`content_hash` digests the canonical skeleton plus each array's
+dtype, shape and raw bytes.  Hashing the *content* rather than the blob
+file makes the hash deterministic (npz is a zip archive whose member
+timestamps vary run to run) and lets a resumed run prove it loaded
+exactly the bytes the interrupted run wrote.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.state.protocol import StateError
+
+#: Skeleton markers (reserved keys of single-entry dicts).
+NDARRAY_KEY = "__ndarray__"
+TUPLE_KEY = "__tuple__"
+SET_KEY = "__set__"
+MAP_KEY = "__map__"
+_MARKERS = (NDARRAY_KEY, TUPLE_KEY, SET_KEY, MAP_KEY)
+
+#: npz member holding the UTF-8 skeleton JSON.
+SKELETON_MEMBER = "__skeleton__"
+
+#: npz member holding the packed-array layout JSON (see :func:`save_npz`).
+LAYOUT_MEMBER = "__layout__"
+
+
+def flatten_state(state) -> tuple[object, dict[str, np.ndarray]]:
+    """Split a snapshot into (JSON skeleton, arrays dict).
+
+    Array placeholder keys are assigned in depth-first encounter order
+    (``a0``, ``a1``, ...), which is itself canonical because map entries
+    are sorted before their values are encoded.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def encode(value):
+        if isinstance(value, np.ndarray):
+            key = f"a{len(arrays)}"
+            arrays[key] = value
+            return {NDARRAY_KEY: key}
+        if isinstance(value, np.generic):
+            return encode(value.item())
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, dict):
+            entries = sorted(value.items(), key=lambda kv: (type(kv[0]).__name__, str(kv[0])))
+            return {MAP_KEY: [[encode(k), encode(v)] for k, v in entries]}
+        if isinstance(value, tuple):
+            return {TUPLE_KEY: [encode(item) for item in value]}
+        if isinstance(value, (set, frozenset)):
+            items = sorted(value, key=lambda item: (type(item).__name__, str(item)))
+            return {SET_KEY: [encode(item) for item in items]}
+        if isinstance(value, list):
+            return [encode(item) for item in value]
+        raise StateError(f"cannot encode a {type(value).__name__} in a snapshot")
+
+    return encode(state), arrays
+
+
+def unflatten_state(skeleton, arrays: dict[str, np.ndarray]):
+    """Inverse of :func:`flatten_state`."""
+
+    def decode(value):
+        if isinstance(value, dict):
+            if len(value) == 1:
+                marker, body = next(iter(value.items()))
+                if marker == NDARRAY_KEY:
+                    try:
+                        return arrays[body]
+                    except KeyError:
+                        raise StateError(f"skeleton references missing array {body!r}") from None
+                if marker == TUPLE_KEY:
+                    return tuple(decode(item) for item in body)
+                if marker == SET_KEY:
+                    return {decode(item) for item in body}
+                if marker == MAP_KEY:
+                    return {decode(k): decode(v) for k, v in body}
+            raise StateError(f"malformed skeleton node: {sorted(value)!r}")
+        if isinstance(value, list):
+            return [decode(item) for item in value]
+        return value
+
+    return decode(skeleton)
+
+
+def skeleton_json(skeleton) -> str:
+    """The canonical JSON text of a skeleton (sorted keys, tight separators)."""
+    return json.dumps(skeleton, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(skeleton, arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the canonical skeleton and every array's exact bytes."""
+    digest = hashlib.sha256()
+    digest.update(skeleton_json(skeleton).encode("utf-8"))
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_npz(handle, skeleton, arrays: dict[str, np.ndarray]) -> None:
+    """Write skeleton + arrays into one (uncompressed) npz stream.
+
+    Arrays are packed one member per dtype (raveled and concatenated),
+    with a ``__layout__`` member recording each array's slice and shape.
+    A snapshot holds hundreds of small arrays (per-broker bandit heads),
+    and zipfile's fixed per-member cost would otherwise dominate the
+    day-boundary checkpoint write.
+    """
+    if SKELETON_MEMBER in arrays or LAYOUT_MEMBER in arrays:
+        raise StateError(f"array keys {SKELETON_MEMBER!r}/{LAYOUT_MEMBER!r} are reserved")
+    members = {
+        SKELETON_MEMBER: np.frombuffer(
+            skeleton_json(skeleton).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    layout = []
+    chunks: dict[str, list[np.ndarray]] = {}
+    offsets: dict[str, int] = {}
+    dtype_members: dict[str, str] = {}
+    for key, value in arrays.items():
+        array = np.ascontiguousarray(value)
+        member = dtype_members.setdefault(array.dtype.str, f"pack{len(dtype_members)}")
+        start = offsets.get(member, 0)
+        chunks.setdefault(member, []).append(array.ravel())
+        offsets[member] = start + array.size
+        layout.append([key, member, start, list(array.shape)])
+    for member, parts in chunks.items():
+        members[member] = np.concatenate(parts)
+    members[LAYOUT_MEMBER] = np.frombuffer(
+        json.dumps(layout, separators=(",", ":")).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(handle, **members)
+
+
+def load_npz(path) -> tuple[object, dict[str, np.ndarray]]:
+    """Read back (skeleton, arrays) written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as blob:
+        try:
+            text = bytes(blob[SKELETON_MEMBER].tobytes()).decode("utf-8")
+        except KeyError:
+            raise StateError(f"{path} is not a repro.state blob (no skeleton)") from None
+        skeleton = json.loads(text)
+        if LAYOUT_MEMBER in blob.files:
+            layout = json.loads(bytes(blob[LAYOUT_MEMBER].tobytes()).decode("utf-8"))
+            packs = {name: blob[name] for name in {entry[1] for entry in layout}}
+            arrays = {}
+            for key, member, start, shape in layout:
+                count = int(np.prod(shape, dtype=np.int64))
+                arrays[key] = (
+                    packs[member][start : start + count].reshape(shape).copy()
+                )
+        else:  # unpacked layout: one member per array
+            arrays = {key: blob[key] for key in blob.files if key != SKELETON_MEMBER}
+    return skeleton, arrays

@@ -1,0 +1,122 @@
+"""Day-boundary checkpointing as a run hook, plus kill-at-boundary testing.
+
+:class:`CheckpointHook` snapshots the full durable state of a run —
+platform, matcher, and any extra :class:`~repro.state.protocol.Stateful`
+components such as the metrics collector — after each day's ``end_day``
+and persists it through a :class:`~repro.state.store.CheckpointStore`.
+Resuming from such a checkpoint (see :meth:`repro.engine.spec.RunSpec.run`)
+reproduces the uninterrupted run bit for bit: the checkpoint captures
+every RNG stream and accumulator *after* day ``k``, so continuing at
+``start_day = k + 1`` replays exactly the draws and updates the straight
+run would have made.
+
+:class:`StopAfterDay` simulates a kill at a day boundary by raising
+:class:`RunInterrupted` from ``on_day_end``.  Order it *after* the
+checkpoint hook so the day's checkpoint lands before the "crash" — the
+same ordering a real kill between days produces.
+"""
+
+from __future__ import annotations
+
+from repro.engine.hooks import RunHook
+from repro.engine.loop import DayEndEvent, RunContext
+from repro.obs.telemetry import add as _metric_add
+from repro.obs.telemetry import span as _span
+from repro.state.store import CheckpointRecord, CheckpointStore
+
+
+class RunInterrupted(RuntimeError):
+    """Raised by :class:`StopAfterDay` to end a run at a day boundary."""
+
+    def __init__(self, day: int) -> None:
+        super().__init__(f"run interrupted after day {day}")
+        self.day = day
+
+
+class StopAfterDay(RunHook):
+    """Aborts the run once ``day`` has fully completed (kill simulation).
+
+    Raises :class:`RunInterrupted` from ``on_day_end``, after all hooks
+    registered before it have seen the event — so a preceding
+    :class:`CheckpointHook` has already persisted the day.
+    """
+
+    def __init__(self, day: int) -> None:
+        self.day = int(day)
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        if event.day >= self.day:
+            raise RunInterrupted(event.day)
+
+
+class CheckpointHook(RunHook):
+    """Persists the run's durable state at day boundaries.
+
+    The snapshot written for day ``d`` is::
+
+        {
+          "platform": platform.snapshot(),
+          "matcher":  matcher.snapshot(),
+          "hooks":    {name: component.snapshot(), ...},
+        }
+
+    captured after ``matcher.end_day`` (and after every earlier hook has
+    folded the day's events into its accumulators — register this hook
+    last among the stateful ones).
+
+    Args:
+        store: destination store (its directory is created on demand).
+        run_id: stable identity recorded on every index line.
+        every: write after every N-th completed day; the final day is
+            always written so a finished run can be reloaded whole.
+        components: extra named ``Stateful`` objects (e.g. the metrics
+            collector) checkpointed alongside platform and matcher.
+        parent_run_id / resumed_from_day: lineage of a resumed run,
+            recorded on each index line it writes.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        run_id: str,
+        every: int = 1,
+        components: dict | None = None,
+        parent_run_id: str | None = None,
+        resumed_from_day: int | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.store = store
+        self.run_id = run_id
+        self.every = int(every)
+        self.components = dict(components or {})
+        self.parent_run_id = parent_run_id
+        self.resumed_from_day = resumed_from_day
+        self.records: list[CheckpointRecord] = []
+        self._context: RunContext | None = None
+
+    def on_run_start(self, context: RunContext) -> None:
+        self._context = context
+
+    def on_day_end(self, event: DayEndEvent) -> None:
+        context = self._context
+        if context is None:
+            raise RuntimeError("CheckpointHook saw on_day_end before on_run_start")
+        last_day = context.num_days - 1
+        if (event.day + 1) % self.every != 0 and event.day != last_day:
+            return
+        with _span("state.checkpoint", day=str(event.day)):
+            state = {
+                "platform": context.platform.snapshot(),
+                "matcher": context.matcher.snapshot(),
+                "hooks": {name: comp.snapshot() for name, comp in self.components.items()},
+            }
+            record = self.store.save(
+                state,
+                day=event.day,
+                run_id=self.run_id,
+                parent_run_id=self.parent_run_id,
+                resumed_from_day=self.resumed_from_day,
+            )
+        _metric_add("state.checkpoints")
+        self.records.append(record)

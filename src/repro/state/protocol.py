@@ -1,0 +1,143 @@
+"""The ``Stateful`` contract: versioned, numpy-aware snapshot/restore.
+
+Every learning/serving component implements two methods::
+
+    def snapshot(self) -> dict:            # versioned({kind}, {payload})
+    def restore(self, state: Mapping):     # payload = expect(state, {kind})
+
+A snapshot is a plain nested structure of dicts, lists, tuples, sets,
+numpy arrays and scalars — exactly what :mod:`repro.state.codec` can
+persist losslessly.  Snapshots are *deep*: mutating the live component
+after ``snapshot()`` never changes an already-taken snapshot, and
+``restore()`` copies data in (it never aliases the caller's arrays).
+
+Versioning policy (see ``docs/state.md``): every snapshot dict carries
+its component ``kind`` and an integer ``version``.  :func:`expect`
+rejects mismatched kinds and versions with typed errors, so loading an
+old checkpoint against newer code fails loudly at the component that
+changed rather than corrupting silently.  Components that evolve their
+payload bump their version and may accept older versions explicitly in
+``restore``.
+
+RNG durability: :func:`rng_state` / :func:`set_rng_state` capture and
+reinstall a ``numpy.random.Generator``'s bit-generator state *in place*.
+In-place restoration matters because components may share one generator
+(e.g. a matcher's bandit and assigner receive the same stream from the
+algorithm registry); restoring through the existing object preserves
+that sharing, so post-restore draws interleave exactly as an
+uninterrupted run's would.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+
+class StateError(RuntimeError):
+    """A snapshot is malformed, mismatched or fails integrity checks."""
+
+
+class StateVersionError(StateError):
+    """A snapshot's version is not supported by the running code.
+
+    See ``docs/state.md`` for the versioning/migration policy.
+    """
+
+
+@runtime_checkable
+class Stateful(Protocol):
+    """Structural protocol implemented by every durable component."""
+
+    def snapshot(self) -> dict:
+        """A deep, plain-data snapshot of all mutable state."""
+        ...
+
+    def restore(self, state: Mapping) -> None:
+        """Reinstall a snapshot produced by :meth:`snapshot` in place."""
+        ...
+
+
+def versioned(kind: str, payload: dict, version: int = 1) -> dict:
+    """Wrap a payload in the standard ``{kind, version, payload}`` envelope."""
+    return {"kind": kind, "version": int(version), "payload": payload}
+
+
+def expect(state: Mapping, kind: str, version: int = 1) -> dict:
+    """Unwrap a snapshot envelope, enforcing kind and version.
+
+    Raises:
+        StateError: when the envelope is malformed or of a different kind.
+        StateVersionError: when the kind matches but the version does not.
+    """
+    if not isinstance(state, Mapping) or "kind" not in state or "payload" not in state:
+        raise StateError(f"malformed snapshot for {kind!r}: {type(state).__name__}")
+    if state["kind"] != kind:
+        raise StateError(f"expected a {kind!r} snapshot, got {state['kind']!r}")
+    found = int(state.get("version", 0))
+    if found != version:
+        raise StateVersionError(
+            f"{kind!r} snapshot version {found} is not supported "
+            f"(expected {version}; see docs/state.md for the migration policy)"
+        )
+    return state["payload"]
+
+
+# ----------------------------------------------------------------------
+# numpy RNG capture
+# ----------------------------------------------------------------------
+def rng_state(rng: np.random.Generator) -> dict:
+    """A deep copy of the generator's bit-generator state (JSON-safe)."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: Mapping) -> None:
+    """Reinstall a captured state into an *existing* generator, in place.
+
+    In-place (rather than returning a fresh generator) so components that
+    share one stream keep sharing it after restore.
+    """
+    expected = type(rng.bit_generator).__name__
+    found = state.get("bit_generator") if isinstance(state, Mapping) else None
+    if found != expected:
+        raise StateError(f"RNG state is for {found!r}, generator uses {expected!r}")
+    rng.bit_generator.state = copy.deepcopy(dict(state))
+
+
+# ----------------------------------------------------------------------
+# Deep equality over snapshot structures
+# ----------------------------------------------------------------------
+def state_equal(a, b) -> bool:
+    """Bitwise deep equality of two snapshot structures.
+
+    Arrays compare by dtype, shape and raw bytes (so NaN payloads and
+    signed zeros are distinguished exactly as the checkpoint hash does);
+    floats treat two NaNs as equal; containers compare recursively.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        if a.dtype != b.dtype or a.shape != b.shape:
+            return False
+        return np.ascontiguousarray(a).tobytes() == np.ascontiguousarray(b).tobytes()
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        if set(a.keys()) != set(b.keys()):
+            return False
+        return all(state_equal(a[key], b[key]) for key in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return False
+        return all(state_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        return a == b
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    if isinstance(a, (np.generic,)) or isinstance(b, (np.generic,)):
+        # Snapshot authors emit python scalars; accept numpy scalars by value.
+        return state_equal(np.asarray(a).item(), np.asarray(b).item())
+    return type(a) is type(b) and a == b

@@ -1,0 +1,150 @@
+"""Append-only checkpoint store: JSONL index + npz state blobs.
+
+Layout of one store directory::
+
+    checkpoints.jsonl            # append-only index, one record per line
+    state-d00006-3fb1c2d4a9e7.npz  # one blob per checkpoint
+    manifest.json                # lineage manifest (written by the hook)
+
+Write protocol (crash-safe by construction):
+
+1. the blob is written to a temp file and ``os.replace``d into place;
+2. only then is the index line appended (flushed + fsynced).
+
+A kill between the steps leaves an orphan blob that no index line
+references — harmless.  A kill mid-append leaves a torn final index line,
+which :func:`repro.state.io.read_jsonl` drops.  Either way every indexed
+checkpoint is complete, and :meth:`CheckpointStore.load` additionally
+verifies the blob's content hash against the index record.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+
+from repro.state import codec
+from repro.state.io import append_jsonl, atomic_open, read_jsonl
+from repro.state.protocol import StateError
+
+#: Index record schema identifier.
+RECORD_SCHEMA = "repro.state.checkpoint/v1"
+
+#: Index file name inside a store directory.
+INDEX_NAME = "checkpoints.jsonl"
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One line of the checkpoint index.
+
+    Attributes:
+        run_id: stable identity of the producing run (spec-derived).
+        day: the completed day the checkpoint captures (state *after*
+            that day's ``end_day``).
+        blob: blob file name, relative to the store directory.
+        sha256: canonical content hash of the state (skeleton + arrays,
+            not the npz file bytes — zip timestamps are not deterministic).
+        parent_run_id: the run this one resumed from, if any.
+        resumed_from_day: the checkpoint day the parent was resumed at.
+        created_utc: ISO-8601 write timestamp (informational only).
+        schema: the record schema identifier.
+    """
+
+    run_id: str
+    day: int
+    blob: str
+    sha256: str
+    parent_run_id: str | None = None
+    resumed_from_day: int | None = None
+    created_utc: str | None = None
+    schema: str = RECORD_SCHEMA
+
+
+class CheckpointStore:
+    """Append-only store of day-boundary checkpoints in one directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = os.fspath(directory)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.directory, INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        state: dict,
+        day: int,
+        run_id: str,
+        parent_run_id: str | None = None,
+        resumed_from_day: int | None = None,
+    ) -> CheckpointRecord:
+        """Persist one state snapshot for ``day``; returns its record."""
+        skeleton, arrays = codec.flatten_state(state)
+        digest = codec.content_hash(skeleton, arrays)
+        blob = f"state-d{day:05d}-{digest[:12]}.npz"
+        with atomic_open(os.path.join(self.directory, blob), "wb") as handle:
+            codec.save_npz(handle, skeleton, arrays)
+        record = CheckpointRecord(
+            run_id=run_id,
+            day=int(day),
+            blob=blob,
+            sha256=digest,
+            parent_run_id=parent_run_id,
+            resumed_from_day=resumed_from_day,
+            created_utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        )
+        append_jsonl(self.index_path, asdict(record))
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def records(self) -> list[CheckpointRecord]:
+        """All indexed checkpoints, in append order (torn tail dropped)."""
+        if not os.path.exists(self.index_path):
+            return []
+        records = []
+        for entry in read_jsonl(self.index_path):
+            if entry.get("schema") != RECORD_SCHEMA:
+                raise StateError(
+                    f"unsupported checkpoint record schema {entry.get('schema')!r} "
+                    f"in {self.index_path} (expected {RECORD_SCHEMA}; see docs/state.md)"
+                )
+            fields = {key: entry.get(key) for key in CheckpointRecord.__dataclass_fields__}
+            records.append(CheckpointRecord(**fields))
+        return records
+
+    def latest(self, run_id: str | None = None) -> CheckpointRecord | None:
+        """The most advanced checkpoint (ties broken by append order)."""
+        candidates = [
+            record
+            for record in self.records()
+            if run_id is None or record.run_id == run_id
+        ]
+        if not candidates:
+            return None
+        return max(enumerate(candidates), key=lambda pair: (pair[1].day, pair[0]))[1]
+
+    def load(self, record: CheckpointRecord | None = None, verify: bool = True) -> dict:
+        """Load (and integrity-check) one checkpoint's state snapshot."""
+        if record is None:
+            record = self.latest()
+            if record is None:
+                raise StateError(f"no checkpoints in {self.directory}")
+        path = os.path.join(self.directory, record.blob)
+        if not os.path.exists(path):
+            raise StateError(f"checkpoint blob missing: {path}")
+        skeleton, arrays = codec.load_npz(path)
+        if verify:
+            digest = codec.content_hash(skeleton, arrays)
+            if digest != record.sha256:
+                raise StateError(
+                    f"checkpoint {record.blob} failed integrity check: "
+                    f"content hash {digest[:12]} != indexed {record.sha256[:12]}"
+                )
+        return codec.unflatten_state(skeleton, arrays)

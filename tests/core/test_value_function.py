@@ -85,8 +85,8 @@ def test_states_clamped_to_range():
     assert np.isfinite(vf.refinement(0.1, -3))
 
 
-def test_snapshot_is_copy():
+def test_table_is_copy():
     vf = CapacityAwareValueFunction()
-    snap = vf.snapshot()
-    snap += 1.0
+    table = vf.table()
+    table += 1.0
     assert vf.value(0.0, 0) == 0.0

@@ -1,0 +1,90 @@
+"""Snapshot codec: flatten/unflatten, content hashing, npz round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.state.codec import (
+    content_hash,
+    flatten_state,
+    load_npz,
+    save_npz,
+    unflatten_state,
+)
+from repro.state.protocol import StateError, state_equal
+
+
+def _sample_state() -> dict:
+    return {
+        "kind": "test",
+        "version": 1,
+        "payload": {
+            "weights": np.arange(6, dtype=float).reshape(2, 3),
+            "ints": np.array([1, 2, 3]),
+            "by_broker": {3: np.ones(2), 0: np.zeros(2)},
+            "pairs": [(0, 1.5), (2, -0.5)],
+            "tags": {"a", "b"},
+            "nested": {"empty": np.zeros((0, 0)), "flag": True, "none": None},
+            "scalar": 3.25,
+        },
+    }
+
+
+def test_flatten_unflatten_round_trip():
+    state = _sample_state()
+    skeleton, arrays = flatten_state(state)
+    rebuilt = unflatten_state(skeleton, arrays)
+    assert state_equal(state, rebuilt)
+    # Integer dict keys survive (JSON would stringify them).
+    assert 3 in rebuilt["payload"]["by_broker"]
+    assert isinstance(rebuilt["payload"]["pairs"][0], tuple)
+    assert rebuilt["payload"]["tags"] == {"a", "b"}
+
+
+def test_flatten_is_deterministic():
+    a = flatten_state(_sample_state())
+    b = flatten_state(_sample_state())
+    assert content_hash(*a) == content_hash(*b)
+
+
+def test_content_hash_sensitive_to_array_bytes():
+    state = _sample_state()
+    base = content_hash(*flatten_state(state))
+    state["payload"]["weights"][0, 0] += 1e-12
+    assert content_hash(*flatten_state(state)) != base
+
+
+def test_content_hash_sensitive_to_structure():
+    state = _sample_state()
+    base = content_hash(*flatten_state(state))
+    state["payload"]["extra"] = 1
+    assert content_hash(*flatten_state(state)) != base
+
+
+def test_npz_round_trip(tmp_path):
+    state = _sample_state()
+    skeleton, arrays = flatten_state(state)
+    path = tmp_path / "blob.npz"
+    with open(path, "wb") as handle:
+        save_npz(handle, skeleton, arrays)
+    loaded_skeleton, loaded_arrays = load_npz(path)
+    assert state_equal(state, unflatten_state(loaded_skeleton, loaded_arrays))
+    # Dtypes survive exactly (int stays int, float stays float).
+    rebuilt = unflatten_state(loaded_skeleton, loaded_arrays)
+    assert rebuilt["payload"]["ints"].dtype == np.array([1]).dtype
+    assert rebuilt["payload"]["weights"].dtype == np.dtype(float)
+
+
+def test_unflatten_rejects_dangling_array_reference():
+    skeleton, arrays = flatten_state({"x": np.ones(3)})
+    with pytest.raises(StateError):
+        unflatten_state(skeleton, {})
+
+
+def test_state_equal_semantics():
+    assert state_equal(float("nan"), float("nan"))
+    assert not state_equal(np.ones(3), np.ones(4))
+    assert not state_equal(np.ones(3, dtype=int), np.ones(3, dtype=float))
+    assert state_equal({"a": (1, 2)}, {"a": (1, 2)})
+    assert not state_equal({"a": (1, 2)}, {"a": [1, 2]})

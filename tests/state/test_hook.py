@@ -1,0 +1,90 @@
+"""CheckpointHook + StopAfterDay: day-boundary writes, cadence, interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_matcher
+from repro.engine.hooks import MetricsCollector
+from repro.engine.loop import DayLoopEngine
+from repro.simulation import SyntheticConfig, generate_city
+from repro.state import (
+    CheckpointHook,
+    CheckpointStore,
+    RunInterrupted,
+    StopAfterDay,
+)
+
+
+def _city(num_days: int = 4):
+    config = SyntheticConfig(num_brokers=10, num_requests=60, num_days=num_days, seed=3)
+    return generate_city(config)
+
+
+def _run(platform, store, every: int = 1, extra_hooks=()):
+    matcher = make_matcher("Greedy", platform, seed=5)
+    collector = MetricsCollector()
+    hook = CheckpointHook(
+        store, run_id="hook-test", every=every, components={"collector": collector}
+    )
+    DayLoopEngine().run(platform, matcher, hooks=(collector, hook) + tuple(extra_hooks))
+    return hook
+
+
+def test_writes_every_day_boundary(tmp_path):
+    store = CheckpointStore(tmp_path)
+    hook = _run(_city(4), store)
+    assert [record.day for record in store.records()] == [0, 1, 2, 3]
+    assert [record.day for record in hook.records] == [0, 1, 2, 3]
+
+
+def test_every_n_still_includes_final_day(tmp_path):
+    store = CheckpointStore(tmp_path)
+    _run(_city(5), store, every=2)
+    # Days are 0-indexed: (day+1) % 2 == 0 -> days 1 and 3; final day 4 always.
+    assert [record.day for record in store.records()] == [1, 3, 4]
+
+
+def test_checkpoint_state_layout(tmp_path):
+    store = CheckpointStore(tmp_path)
+    _run(_city(2), store)
+    state = store.load(store.latest())
+    assert set(state) == {"platform", "matcher", "hooks"}
+    assert state["platform"]["kind"] == "simulation.platform"
+    assert state["matcher"]["kind"] == "algorithms.stateless"
+    assert set(state["hooks"]) == {"collector"}
+    assert state["hooks"]["collector"]["kind"] == "engine.metrics_collector"
+
+
+def test_stop_after_day_interrupts_after_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path)
+    platform = _city(4)
+    with pytest.raises(RunInterrupted) as excinfo:
+        _run(platform, store, extra_hooks=(StopAfterDay(1),))
+    assert excinfo.value.day == 1
+    # The kill fires AFTER the boundary checkpoint was written — the crash
+    # model the resume contract is built on.
+    assert [record.day for record in store.records()] == [0, 1]
+
+
+def test_hook_rejects_nonpositive_cadence(tmp_path):
+    with pytest.raises(ValueError):
+        CheckpointHook(CheckpointStore(tmp_path), run_id="x", every=0)
+
+
+def test_records_carry_lineage(tmp_path):
+    store = CheckpointStore(tmp_path)
+    platform = _city(2)
+    matcher = make_matcher("Greedy", platform, seed=5)
+    collector = MetricsCollector()
+    hook = CheckpointHook(
+        store,
+        run_id="segment-2",
+        components={"collector": collector},
+        parent_run_id="segment-1",
+        resumed_from_day=3,
+    )
+    DayLoopEngine().run(platform, matcher, hooks=(collector, hook))
+    for record in store.records():
+        assert record.parent_run_id == "segment-1"
+        assert record.resumed_from_day == 3

@@ -1,0 +1,97 @@
+"""Atomic writes and torn-tail-tolerant JSONL (`repro.state.io`)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.state.io import (
+    append_jsonl,
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+
+
+def test_atomic_open_writes_and_replaces(tmp_path):
+    path = tmp_path / "out.txt"
+    with atomic_open(path) as handle:
+        handle.write("hello")
+    assert path.read_text() == "hello"
+    # No stray temporaries left behind.
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_open_leaves_previous_file_on_exception(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("previous")
+    with pytest.raises(RuntimeError):
+        with atomic_open(path) as handle:
+            handle.write("partial garbage")
+            raise RuntimeError("killed mid-write")
+    assert path.read_text() == "previous"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_atomic_open_rejects_read_and_append_modes(tmp_path):
+    for mode in ("r", "a", "r+", "w+"):
+        with pytest.raises(ValueError):
+            with atomic_open(tmp_path / "x", mode):
+                pass
+
+
+def test_atomic_open_creates_missing_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "file.txt"
+    with atomic_open(path) as handle:
+        handle.write("x")
+    assert path.read_text() == "x"
+
+
+def test_atomic_write_helpers(tmp_path):
+    text_path = atomic_write_text(tmp_path / "a.txt", "abc")
+    bytes_path = atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+    json_path = atomic_write_json(tmp_path / "c.json", {"b": 1, "a": 2})
+    assert open(text_path).read() == "abc"
+    assert open(bytes_path, "rb").read() == b"\x00\x01"
+    assert json.load(open(json_path)) == {"a": 2, "b": 1}
+
+
+def test_append_then_read_jsonl_round_trip(tmp_path):
+    path = tmp_path / "log.jsonl"
+    records = [{"day": 0}, {"day": 1, "x": [1, 2]}, {"day": 2}]
+    for record in records:
+        append_jsonl(path, record)
+    assert read_jsonl(path) == records
+
+
+def test_append_jsonl_escapes_newline_values(tmp_path):
+    """Newlines inside values are JSON-escaped, so every record stays one
+    physical line and the torn-tail recovery logic stays sound."""
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, {"text": "a b\nnewline"})
+    append_jsonl(path, {"day": 1})
+    assert len(path.read_text().rstrip("\n").split("\n")) == 2
+    assert read_jsonl(path) == [{"text": "a b\nnewline"}, {"day": 1}]
+
+
+def test_read_jsonl_drops_torn_final_line(tmp_path):
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, {"day": 0})
+    append_jsonl(path, {"day": 1})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"day": 2, "tru')  # killed mid-append
+    assert read_jsonl(path) == [{"day": 0}, {"day": 1}]
+
+
+def test_read_jsonl_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"day": 0}\n')
+        handle.write("garbage not json\n")
+        handle.write('{"day": 2}\n')
+    with pytest.raises(ValueError, match="corrupt JSONL line 2"):
+        read_jsonl(path)

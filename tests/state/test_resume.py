@@ -1,0 +1,105 @@
+"""The tentpole acceptance: straight-through ≡ checkpoint/kill/resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.resume import check_resume_equivalence, run_resume_suite
+from repro.engine.loop import DayLoopEngine
+from repro.engine.spec import MatcherSpec, PlatformSpec, RunSpec
+from repro.simulation import SyntheticConfig, generate_city
+from repro.state import CheckpointStore
+
+
+@pytest.fixture(scope="module")
+def platform_spec():
+    return PlatformSpec.synthetic(
+        SyntheticConfig(num_brokers=12, num_requests=90, num_days=5, seed=3)
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["LACB", "AN", "Top-3", "KM"])
+def test_resume_equivalence_per_algorithm(algorithm):
+    assert check_resume_equivalence(algorithm=algorithm, kill_day=2, num_days=5) == []
+
+
+def test_resume_equivalence_property_suite():
+    """Seeded random kill points across the boundary x algorithm grid."""
+    cases, violations = run_resume_suite(num_cases=3, seed=11, num_days=4)
+    assert cases == 3
+    assert violations == []
+
+
+def test_runspec_resume_from_empty_store_is_fresh_start(tmp_path, platform_spec):
+    spec = RunSpec(
+        platform=platform_spec,
+        matcher=MatcherSpec("Greedy", seed=5),
+        resume_from=str(tmp_path / "never-written"),
+    )
+    baseline = RunSpec(platform=platform_spec, matcher=MatcherSpec("Greedy", seed=5))
+    assert spec.run().total_realized_utility == baseline.run().total_realized_utility
+
+
+def test_runspec_checkpoint_then_resume_round_trip(tmp_path, platform_spec):
+    root = str(tmp_path)
+    first = RunSpec(
+        platform=platform_spec,
+        matcher=MatcherSpec("Top-3", seed=5),
+        checkpoint_dir=root,
+    )
+    result = first.run()
+    store = CheckpointStore(first.run_directory(root))
+    assert store.latest().day == platform_spec.config.num_days - 1
+
+    resumed = RunSpec(
+        platform=platform_spec,
+        matcher=MatcherSpec("Top-3", seed=5),
+        resume_from=root,
+    ).run()
+    assert resumed.total_realized_utility == result.total_realized_utility
+    assert np.array_equal(resumed.daily_utility, result.daily_utility)
+    assert np.array_equal(resumed.broker_workload, result.broker_workload)
+
+
+def test_run_id_distinguishes_specs(platform_spec):
+    a = RunSpec(platform=platform_spec, matcher=MatcherSpec("LACB", seed=5))
+    b = RunSpec(platform=platform_spec, matcher=MatcherSpec("LACB", seed=6))
+    c = RunSpec(platform=platform_spec, matcher=MatcherSpec("LACB-Opt", seed=5))
+    d = RunSpec(platform=platform_spec, matcher=MatcherSpec("LACB", seed=5), tag="x")
+    ids = {spec.run_id() for spec in (a, b, c, d)}
+    assert len(ids) == 4
+    assert a.run_id() == RunSpec(
+        platform=platform_spec, matcher=MatcherSpec("LACB", seed=5)
+    ).run_id()
+
+
+def test_engine_validates_start_day():
+    platform = generate_city(
+        SyntheticConfig(num_brokers=8, num_requests=40, num_days=2, seed=3)
+    )
+    from repro.algorithms import make_matcher
+
+    matcher = make_matcher("Greedy", platform, seed=5)
+    with pytest.raises(ValueError):
+        DayLoopEngine().run(platform, matcher, start_day=-1)
+    with pytest.raises(ValueError):
+        DayLoopEngine().run(platform, matcher, start_day=platform.num_days + 1)
+
+
+def test_resume_equivalence_reports_violation_when_state_is_corrupted(tmp_path):
+    """The equivalence checker itself must be falsifiable: a store whose
+    latest checkpoint belongs to a different kill day (or is absent) is
+    reported, not silently accepted."""
+    from repro.check.resume import check_resume_equivalence
+
+    violations = check_resume_equivalence(
+        algorithm="Greedy", kill_day=1, num_days=3, directory=str(tmp_path)
+    )
+    assert violations == []
+    # Re-running in the same directory now sees day-1 as latest again; a
+    # kill at day 0 expects day-0 as the latest checkpoint and must flag it.
+    violations = check_resume_equivalence(
+        algorithm="Greedy", kill_day=0, num_days=3, directory=str(tmp_path)
+    )
+    assert any(v.invariant == "resume.checkpoint_missing" for v in violations)

@@ -1,0 +1,92 @@
+"""Append-only checkpoint store: records, latest, verification, crashes."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.state.protocol import StateError, state_equal
+from repro.state.store import CheckpointStore
+
+
+def _state(day: int) -> dict:
+    return {
+        "platform": {"kind": "p", "version": 1, "payload": {"day": day}},
+        "matcher": {"kind": "m", "version": 1, "payload": {"w": np.full(3, float(day))}},
+        "hooks": {},
+    }
+
+
+def test_save_load_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    record = store.save(_state(0), day=0, run_id="r1")
+    assert record.day == 0 and record.run_id == "r1"
+    assert state_equal(store.load(record), _state(0))
+
+
+def test_latest_picks_highest_day(tmp_path):
+    store = CheckpointStore(tmp_path)
+    for day in (0, 1, 2):
+        store.save(_state(day), day=day, run_id="r1")
+    latest = store.latest()
+    assert latest.day == 2
+    assert store.latest(run_id="r1").day == 2
+    assert store.latest(run_id="other") is None
+
+
+def test_empty_store_has_no_latest(tmp_path):
+    store = CheckpointStore(tmp_path / "missing")
+    assert store.records() == []
+    assert store.latest() is None
+
+
+def test_load_detects_blob_substitution(tmp_path):
+    """A blob whose content does not match the indexed sha256 must refuse
+    to load — the guard against silent mixups between runs or partial
+    restores from the wrong file."""
+    store_a = CheckpointStore(tmp_path / "a")
+    store_b = CheckpointStore(tmp_path / "b")
+    record = store_a.save(_state(0), day=0, run_id="r1")
+    other = store_b.save(_state(1), day=0, run_id="r1")
+    with open(tmp_path / "b" / other.blob, "rb") as handle:
+        impostor = handle.read()
+    with open(tmp_path / "a" / record.blob, "wb") as handle:
+        handle.write(impostor)
+    with pytest.raises(StateError):
+        store_a.load(record)
+    # verify=False skips the guard (the escape hatch for forensics).
+    assert store_a.load(record, verify=False) is not None
+
+
+def test_torn_index_tail_drops_only_final_record(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save(_state(0), day=0, run_id="r1")
+    store.save(_state(1), day=1, run_id="r1")
+    with open(store.index_path, "a", encoding="utf-8") as handle:
+        handle.write('{"schema": "repro.state.checkpoint/v1", "day": 2, "tru')
+    records = store.records()
+    assert [record.day for record in records] == [0, 1]
+    assert store.latest().day == 1
+
+
+def test_orphan_blob_is_harmless(tmp_path):
+    """Crash between blob replace and index append: blob exists, no record."""
+    store = CheckpointStore(tmp_path)
+    store.save(_state(0), day=0, run_id="r1")
+    with open(tmp_path / "state-d00099-deadbeef0000.npz", "wb") as handle:
+        handle.write(b"not a real checkpoint")
+    assert store.latest().day == 0
+    assert state_equal(store.load(store.latest()), _state(0))
+
+
+def test_lineage_fields_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    record = store.save(
+        _state(3), day=3, run_id="r2", parent_run_id="r1", resumed_from_day=2
+    )
+    reread = store.records()[-1]
+    assert reread.parent_run_id == "r1"
+    assert reread.resumed_from_day == 2
+    assert reread.sha256 == record.sha256

@@ -293,7 +293,7 @@ def test_check_exits_nonzero_on_violations(monkeypatch, capsys):
         lambda **kwargs: _fake_report([Violation("batch.feasible", "boom")]),
     )
     with pytest.raises(SystemExit) as excinfo:
-        main(["check"])
+        main(["check", "--resume-cases", "0"])
     assert excinfo.value.code == 1
     out = capsys.readouterr().out
     assert "FAILED" in out and "batch.feasible" in out
@@ -301,7 +301,7 @@ def test_check_exits_nonzero_on_violations(monkeypatch, capsys):
 
 def test_check_returns_cleanly_when_ok(monkeypatch, capsys):
     monkeypatch.setattr("repro.check.run_self_check", lambda **kwargs: _fake_report([]))
-    main(["check"])
+    main(["check", "--resume-cases", "0"])
     assert "OK" in capsys.readouterr().out
 
 
@@ -314,7 +314,7 @@ def test_check_report_written_even_on_failure(monkeypatch, tmp_path, capsys):
     )
     report_dir = tmp_path / "report"
     with pytest.raises(SystemExit):
-        main(["check", "--report", str(report_dir)])
+        main(["check", "--report", str(report_dir), "--resume-cases", "0"])
     payload = json.loads((report_dir / "check_report.json").read_text())
     assert payload["ok"] is False
     assert payload["violations"]
@@ -331,7 +331,7 @@ def test_check_telemetry_exported_even_on_failure(monkeypatch, tmp_path, capsys)
     )
     telemetry_dir = tmp_path / "telemetry"
     with pytest.raises(SystemExit) as excinfo:
-        main(["check", "--telemetry", str(telemetry_dir)])
+        main(["check", "--telemetry", str(telemetry_dir), "--resume-cases", "0"])
     assert excinfo.value.code == 1
     assert telemetry_dir.is_dir() and any(telemetry_dir.iterdir())
 
@@ -346,6 +346,99 @@ def test_check_end_to_end_small_instance(capsys):
             "--days", "1",
             "--cases", "5",
             "--algorithms", "KM",
+            "--resume-cases", "1",
         ]
     )
-    assert "OK: all invariants and properties hold" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "OK: all invariants and properties hold" in out
+    assert "resume cases" in out
+
+
+def test_check_resume_violation_fails_exit_code(monkeypatch, capsys):
+    """A resume-equivalence violation must fail the command like any other."""
+    from repro.check.runtime import Violation
+
+    monkeypatch.setattr("repro.check.run_self_check", lambda **kwargs: _fake_report([]))
+    monkeypatch.setattr(
+        "repro.check.resume.run_resume_suite",
+        lambda **kwargs: (1, [Violation("resume.result_diverges", "drift")]),
+    )
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "--resume-cases", "1"])
+    assert excinfo.value.code == 1
+    out = capsys.readouterr().out
+    assert "resume.result_diverges" in out
+
+
+def test_check_report_flushed_when_resume_phase_raises(monkeypatch, tmp_path, capsys):
+    """--report must land on disk even when the resume phase crashes
+    outright (not merely finds violations) — the report is the artifact CI
+    uploads for the post-mortem."""
+    monkeypatch.setattr("repro.check.run_self_check", lambda **kwargs: _fake_report([]))
+
+    def _boom(**kwargs):
+        raise RuntimeError("store corrupted mid-suite")
+
+    monkeypatch.setattr("repro.check.resume.run_resume_suite", _boom)
+    report_dir = tmp_path / "report"
+    with pytest.raises(RuntimeError, match="store corrupted"):
+        main(["check", "--report", str(report_dir), "--resume-cases", "1"])
+    payload = json.loads((report_dir / "check_report.json").read_text())
+    assert payload["ok"] is True  # the phases that did run were clean
+    assert payload["resume_cases"] == 0
+
+
+def test_check_telemetry_flushed_when_resume_phase_raises(monkeypatch, tmp_path):
+    monkeypatch.setattr("repro.check.run_self_check", lambda **kwargs: _fake_report([]))
+
+    def _boom(**kwargs):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr("repro.check.resume.run_resume_suite", _boom)
+    telemetry_dir = tmp_path / "telemetry"
+    with pytest.raises(RuntimeError):
+        main(["check", "--telemetry", str(telemetry_dir), "--resume-cases", "1"])
+    assert telemetry_dir.is_dir() and any(telemetry_dir.iterdir())
+
+
+# ----------------------------------------------------------------------
+# --checkpoint / --resume
+# ----------------------------------------------------------------------
+def test_resume_requires_checkpoint():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["compare", "--days", "1", "--algorithms", "Greedy", "--resume"])
+    assert excinfo.value.code == 2
+
+
+def test_compare_checkpoint_then_resume_round_trip(capsys, tmp_path):
+    """The CI smoke flow: an interrupted-free checkpointed run resumed from
+    its final checkpoint reprints the identical result table."""
+    args = [
+        "compare",
+        "--brokers", "12", "--requests", "80", "--days", "2",
+        "--algorithms", "Greedy", "Top-3",
+        "--checkpoint", str(tmp_path / "ckpt"),
+    ]
+    main(args)
+    straight = capsys.readouterr().out
+    main(args + ["--resume"])
+    resumed = capsys.readouterr().out
+    assert resumed == straight
+    stores = list((tmp_path / "ckpt").iterdir())
+    assert len(stores) == 2  # one per-spec store directory
+    assert all((store / "checkpoints.jsonl").exists() for store in stores)
+
+
+def test_sweep_checkpoint_then_resume_round_trip(capsys, tmp_path):
+    args = [
+        "sweep",
+        "--brokers", "10", "--requests", "60", "--days", "2",
+        "--algorithms", "Greedy",
+        "--checkpoint", str(tmp_path / "ckpt"),
+        "num_brokers", "10", "12",
+    ]
+    main(args)
+    straight = capsys.readouterr().out
+    main(args + ["--resume"])
+    resumed = capsys.readouterr().out
+    assert resumed == straight
