@@ -7,7 +7,13 @@ Subcommands:
 - ``city``     — the Fig. 9-11 evaluation on a real-like city;
 - ``motivate`` — the Sec. II measurement study (Figs. 2-4);
 - ``timing``   — the per-batch matching-cost profile (the CBS speedup);
-- ``report``   — render the telemetry a ``--telemetry DIR`` run exported;
+- ``report``   — render the telemetry a ``--telemetry DIR`` run exported
+  (falls back to streamed partials when the run crashed before export);
+- ``watch``    — live view of an in-flight ``--telemetry`` run from its
+  streamed segments;
+- ``baseline`` — benchmark trajectory tracking: append ``BENCH_*.json``
+  artifacts to ``BENCH_trajectory.json`` and/or check them against the
+  baseline with a noise band (``--check`` exits non-zero on regression);
 - ``check``    — the correctness self-diagnostic: runtime invariants on a
   small simulated city plus the differential property suites
   (see ``docs/correctness.md``).
@@ -283,9 +289,86 @@ def _cmd_timing(args: argparse.Namespace) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
-    from repro.obs.report import render_report
+    from repro.obs.report import load_spans, render_report
 
     print(render_report(args.dir))
+    if args.flamegraph:
+        from repro.obs.profile import write_collapsed
+
+        spans = load_spans(args.dir)
+        write_collapsed(args.flamegraph, spans)
+        log.info(
+            "collapsed stacks (%d spans) written to %s — render with "
+            "flamegraph.pl or https://speedscope.app",
+            len(spans),
+            args.flamegraph,
+        )
+
+
+def _cmd_watch(args: argparse.Namespace) -> None:
+    import time as _time
+
+    from repro.obs.report import render_watch
+
+    while True:
+        text, complete = render_watch(args.dir)
+        print(text, flush=True)
+        if complete or args.once:
+            return
+        _time.sleep(args.interval)
+        print()
+
+
+def _cmd_baseline(args: argparse.Namespace) -> None:
+    from repro.obs.baseline import default_artifacts, run_baseline
+
+    artifacts = args.artifacts or default_artifacts()
+    if not artifacts:
+        raise SystemExit("no BENCH_*.json artifacts found (run the benchmark suite first)")
+    comparisons, appended = run_baseline(
+        artifacts,
+        args.trajectory,
+        append=args.append,
+        window=args.window,
+    )
+    rows = []
+    for comparison in comparisons:
+        baseline = (
+            f"{comparison.baseline:.4f}" if comparison.baseline is not None else "-"
+        )
+        band = f"±{comparison.band:.4f}" if comparison.baseline is not None else "-"
+        rows.append(
+            (
+                comparison.bench,
+                comparison.metric,
+                f"{comparison.current:.4f}",
+                baseline,
+                band,
+                comparison.samples,
+                comparison.status.upper() if comparison.is_regression else comparison.status,
+            )
+        )
+    print(
+        format_table(
+            ["bench", "metric", "current", "baseline", "noise band", "n", "status"],
+            rows,
+            title=f"Benchmark baseline ({args.trajectory})",
+        )
+    )
+    if appended:
+        log.info("appended %d entr%s to %s", len(appended),
+                 "y" if len(appended) == 1 else "ies", args.trajectory)
+    regressions = [c for c in comparisons if c.is_regression]
+    if args.strict_baseline and any(c.status == "no-baseline" for c in comparisons):
+        raise SystemExit("no baseline available for some metrics (--strict-baseline)")
+    if args.check and regressions:
+        for comparison in regressions:
+            print(
+                f"REGRESSION: {comparison.bench}.{comparison.metric} = "
+                f"{comparison.current:.4f} vs baseline {comparison.baseline:.4f} "
+                f"(noise band ±{comparison.band:.4f}, n={comparison.samples})"
+            )
+        raise SystemExit(1)
 
 
 def _cmd_check(args: argparse.Namespace) -> None:
@@ -431,7 +514,62 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render the telemetry exported by a --telemetry run"
     )
     report.add_argument("dir", help="telemetry directory written by --telemetry")
+    report.add_argument(
+        "--flamegraph",
+        metavar="OUT",
+        default=None,
+        help="additionally write collapsed stacks (flamegraph.pl/speedscope "
+        "format) built from the span tree to OUT",
+    )
     report.set_defaults(func=_cmd_report)
+
+    watch = sub.add_parser(
+        "watch", help="live view of an in-flight --telemetry run (streamed segments)"
+    )
+    watch.add_argument("dir", help="telemetry directory of the running command")
+    watch.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    watch.add_argument(
+        "--once", action="store_true", help="render the current state once and exit"
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    baseline = sub.add_parser(
+        "baseline",
+        help="benchmark trajectory: append BENCH_*.json artifacts and/or "
+        "check them against the baseline",
+    )
+    baseline.add_argument(
+        "artifacts",
+        nargs="*",
+        help="benchmark artifacts (default: ./BENCH_*.json except the trajectory)",
+    )
+    baseline.add_argument(
+        "--trajectory",
+        default="BENCH_trajectory.json",
+        help="trajectory file (committed; default ./BENCH_trajectory.json)",
+    )
+    baseline.add_argument(
+        "--append", action="store_true", help="append the artifacts to the trajectory"
+    )
+    baseline.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if any metric regresses beyond its noise band",
+    )
+    baseline.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when a metric has no baseline to compare against",
+    )
+    baseline.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="baseline = median of the last N matching trajectory entries",
+    )
+    baseline.set_defaults(func=_cmd_baseline)
 
     check = sub.add_parser(
         "check", help="correctness self-diagnostic (invariants + property suites)"
@@ -487,8 +625,21 @@ def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
     exiting non-zero on violations) must still ship its telemetry — that
     run's trace is exactly the one worth inspecting — and the failure
     (exit code included) must still propagate.
+
+    Streaming is on throughout: every run writes live segments under
+    ``DIR/stream/`` (watch with ``repro-lacb watch DIR``), so even a
+    hard kill leaves a partial view that ``report`` can render.
     """
+    import os
+
+    from repro.obs.manifest import describe_telemetry
+    from repro.obs.stream import TelemetryStreamWriter, stream_dir_for
+
     telemetry = obs.enable()
+    # Spec fan-outs (run_many) derive per-spec segments from stream_dir;
+    # runs executed directly under this telemetry flush to "main".
+    telemetry.stream_dir = stream_dir_for(directory)
+    telemetry.stream = TelemetryStreamWriter(telemetry.stream_dir, segment="main")
     start = time.perf_counter()
     try:
         args.func(args)
@@ -503,6 +654,7 @@ def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
                 if key != "func" and not callable(value)
             },
             wall_seconds=wall,
+            extra={"telemetry": describe_telemetry(telemetry)},
         )
         paths = telemetry.export(directory, manifest=manifest)
         log.info("telemetry exported to %s (%d files)", directory, len(paths))

@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 from repro.engine.hooks import RunResult
 from repro.engine.spec import PlatformSpec, RunSpec
+from repro.obs.stream import segment_name
 from repro.obs.telemetry import Telemetry, current as current_telemetry, use as use_telemetry
 
 #: Process-local platform cache: (cache key, platform) of the most recent
@@ -60,18 +61,39 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return spec.run(platform=_cached_platform(spec))
 
 
-def execute_spec_observed(spec: RunSpec) -> tuple[RunResult, dict]:
+def execute_spec_observed(
+    spec: RunSpec, stream_dir: str | None = None, segment: str | None = None
+) -> tuple[RunResult, dict]:
     """Execute one spec under a fresh telemetry; return (result, payload).
 
     The payload (:meth:`~repro.obs.telemetry.Telemetry.payload`) is plain
     data, safe to ship from a pool worker back to the parent for merging.
     Running each spec against its own registry — even serially — is what
     makes the parent's merge order identical under any ``jobs`` value.
+
+    Args:
+        stream_dir: when set, the run streams live telemetry into its own
+            segment file under this directory (see :mod:`repro.obs.stream`),
+            so progress is observable — and recoverable — even if this
+            worker dies mid-run.
+        segment: segment stem; defaults to the spec's run id.
     """
     telemetry = Telemetry()
+    if stream_dir is not None:
+        from repro.obs.stream import TelemetryStreamWriter
+
+        telemetry.stream = TelemetryStreamWriter(
+            stream_dir, segment=segment or spec.run_id()
+        )
     with use_telemetry(telemetry):
         result = spec.run(platform=_cached_platform(spec))
     return result, telemetry.payload()
+
+
+def _execute_observed_task(task: tuple) -> tuple[RunResult, dict]:
+    """Pool-picklable wrapper: (spec, stream_dir, segment) → observed run."""
+    spec, stream_dir, segment = task
+    return execute_spec_observed(spec, stream_dir=stream_dir, segment=segment)
 
 
 def run_many(
@@ -100,17 +122,25 @@ def run_many(
     if jobs <= 0:
         jobs = os.cpu_count() or 1
 
+    # Per-spec stream segments: the zero-padded index prefix makes segment
+    # name order equal spec order, which is the merge order readers use.
+    stream_dir = telemetry.stream_dir if telemetry is not None else None
+    tasks = [
+        (spec, stream_dir, segment_name(index, spec.run_id()))
+        for index, spec in enumerate(specs)
+    ]
+
     if jobs == 1 or len(specs) <= 1:
         if telemetry is None:
             return [execute_spec(spec) for spec in specs]
-        observed = [execute_spec_observed(spec) for spec in specs]
+        observed = [_execute_observed_task(task) for task in tasks]
     else:
         workers = min(jobs, len(specs))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             # Executor.map preserves input order, giving deterministic results.
             if telemetry is None:
                 return list(pool.map(execute_spec, specs))
-            observed = list(pool.map(execute_spec_observed, specs))
+            observed = list(pool.map(_execute_observed_task, tasks))
 
     # Merge in spec order: counter/histogram folds are exact, so the merged
     # registry is bit-identical for any jobs value.

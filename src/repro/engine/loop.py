@@ -82,11 +82,13 @@ class DayStartEvent:
         day: day index.
         contexts: the day's broker working-status contexts ``x_b``.
         matcher_seconds: wall-clock seconds spent inside ``begin_day``.
+        matcher_cpu_seconds: CPU seconds (``process_time``) of the same call.
     """
 
     day: int
     contexts: np.ndarray
     matcher_seconds: float
+    matcher_cpu_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,7 @@ class BatchAssignedEvent:
         assignment: the matching ``M^(i)`` the matcher produced.
         matcher_seconds: wall-clock seconds spent inside ``assign_batch``
             (excludes ``predicted_utilities`` and ``submit_assignment``).
+        matcher_cpu_seconds: CPU seconds (``process_time``) of the same call.
     """
 
     day: int
@@ -108,6 +111,7 @@ class BatchAssignedEvent:
     utilities: np.ndarray
     assignment: Assignment
     matcher_seconds: float
+    matcher_cpu_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -119,12 +123,14 @@ class DayEndEvent:
         outcome: the platform's realized end-of-day feedback.
         contexts: the contexts the day started with.
         matcher_seconds: wall-clock seconds spent inside ``end_day``.
+        matcher_cpu_seconds: CPU seconds (``process_time``) of the same call.
     """
 
     day: int
     outcome: DayOutcome
     contexts: np.ndarray
     matcher_seconds: float
+    matcher_cpu_seconds: float = 0.0
 
 
 @dataclass
@@ -187,12 +193,21 @@ class DayLoopEngine:
             hook.on_run_start(context)
 
         clock = self.clock
+        cpu_clock = time.process_time
         for day in range(start_day, context.num_days):
+            _set_observed_day(day)
             contexts = platform.start_day(day)
+            cpu_tick = cpu_clock()
             tick = clock()
             matcher.begin_day(day, contexts)
             begin_seconds = clock() - tick
-            day_event = DayStartEvent(day=day, contexts=contexts, matcher_seconds=begin_seconds)
+            begin_cpu = cpu_clock() - cpu_tick
+            day_event = DayStartEvent(
+                day=day,
+                contexts=contexts,
+                matcher_seconds=begin_seconds,
+                matcher_cpu_seconds=begin_cpu,
+            )
             for hook in hooks:
                 hook.on_day_start(day_event)
 
@@ -203,9 +218,11 @@ class DayLoopEngine:
                 # Environment work: the deployed model's predictions are
                 # computed outside the matcher clock by construction.
                 utilities = platform.predicted_utilities(request_ids)
+                cpu_tick = cpu_clock()
                 tick = clock()
                 assignment = matcher.assign_batch(day, batch, request_ids, utilities)
                 assign_seconds = clock() - tick
+                assign_cpu = cpu_clock() - cpu_tick
                 platform.submit_assignment(assignment)
                 batch_event = BatchAssignedEvent(
                     day=day,
@@ -214,23 +231,47 @@ class DayLoopEngine:
                     utilities=utilities,
                     assignment=assignment,
                     matcher_seconds=assign_seconds,
+                    matcher_cpu_seconds=assign_cpu,
                 )
                 for hook in hooks:
                     hook.on_batch_assigned(batch_event)
 
             outcome = platform.finish_day()
+            cpu_tick = cpu_clock()
             tick = clock()
             matcher.end_day(day, outcome, contexts)
             end_seconds = clock() - tick
+            end_cpu = cpu_clock() - cpu_tick
             end_event = DayEndEvent(
-                day=day, outcome=outcome, contexts=contexts, matcher_seconds=end_seconds
+                day=day,
+                outcome=outcome,
+                contexts=contexts,
+                matcher_seconds=end_seconds,
+                matcher_cpu_seconds=end_cpu,
             )
             for hook in hooks:
                 hook.on_day_end(end_event)
 
+        _set_observed_day(-1)
         for hook in hooks:
             hook.on_run_end(context)
         return context
+
+
+def _set_observed_day(day: int) -> None:
+    """Stamp the executing day onto the active tracer (no-op when off).
+
+    Interior spans (KM solve, CBS pruning, bandit predict/update) open
+    during matcher calls, before any lifecycle event fires — so per-day
+    attribution cannot come from hooks.  The loop marks the day on the
+    tracer instead, and every span finished while it is set carries it
+    (see :attr:`repro.obs.tracing.SpanRecord.day`).
+    """
+    from repro.obs.telemetry import current
+
+    telemetry = current()
+    if telemetry is not None:
+        telemetry.tracer.day = day
 
 
 def _telemetry_hooks(hooks: tuple) -> tuple:

@@ -1,25 +1,40 @@
-"""Observability subsystem: metrics, spans, manifests, exporters.
+"""Observability subsystem: metrics, quantiles, spans, streams, baselines.
 
-Five layers, each usable on its own:
+Layers, each usable on its own:
 
 - :mod:`~repro.obs.metrics` — zero-dependency counters / gauges /
   histograms / timers in a :class:`MetricsRegistry` with exact cross-process
   merge and a Prometheus text exporter;
-- :mod:`~repro.obs.tracing` — :class:`Tracer` span records with JSONL and
-  Chrome ``trace_event`` (Perfetto-loadable) export;
+- :mod:`~repro.obs.quantiles` — the mergeable log-bucketed
+  :class:`QuantileSketch` behind every histogram/timer's p50/p95/p99
+  (bounded relative error, bit-identical under any merge order the repo
+  uses);
+- :mod:`~repro.obs.tracing` — :class:`Tracer` span records (wall + CPU,
+  day-stamped) with JSONL and Chrome ``trace_event`` (Perfetto-loadable)
+  export;
 - :mod:`~repro.obs.telemetry` — the process-wide switchboard (off by
   default): :func:`enable` / :func:`disable` / :func:`use`, plus the no-op
   fast-path helpers (:func:`span`, :func:`add`, ...) the hot paths call;
+- :mod:`~repro.obs.stream` — live streaming telemetry: crash-safe JSONL
+  segments flushed at day boundaries, readable mid-run (``watch``) and
+  after a crash (``report`` fallback);
+- :mod:`~repro.obs.profile` — the phase profiler: deterministic per-day ×
+  per-phase wall/CPU attribution, self-time hotspots and collapsed-stack
+  flamegraph export over the span stream;
 - :mod:`~repro.obs.hook` — :class:`TelemetryHook`, bridging
-  :mod:`repro.engine` lifecycle events into metrics and spans (attached
-  automatically by the engine while telemetry is active);
+  :mod:`repro.engine` lifecycle events into metrics, spans and stream
+  flushes (attached automatically by the engine while telemetry is active);
 - :mod:`~repro.obs.manifest` — run manifests (spec, seeds, git SHA,
-  platform, versions, wall-clock) written next to exported results;
+  platform, versions, wall-clock, telemetry lineage) written next to
+  exported results;
+- :mod:`~repro.obs.baseline` — benchmark trajectory tracking with
+  noise-banded regression checks (``repro-lacb baseline``);
 - :mod:`~repro.obs.logging` — stderr diagnostics via stdlib ``logging``.
 
-``repro.obs.report`` (the ``repro report`` renderer) is imported on demand
-by the CLI rather than here: it reads result-formatting helpers from
-:mod:`repro.experiments`, which sits above this layer.
+``repro.obs.report`` (the ``repro report`` / ``watch`` renderer) is
+imported on demand by the CLI rather than here: it reads
+result-formatting helpers from :mod:`repro.experiments`, which sits above
+this layer.
 """
 
 from repro.obs.hook import TelemetryHook
@@ -35,6 +50,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
+from repro.obs.quantiles import REPORT_QUANTILES, QuantileSketch
+from repro.obs.stream import TelemetryStreamWriter, read_stream
 from repro.obs.telemetry import Telemetry, current, disable, enable, enabled, use
 from repro.obs.tracing import SpanRecord, Tracer
 
@@ -45,10 +62,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "RATIO_BOUNDARIES",
+    "REPORT_QUANTILES",
     "SpanRecord",
     "Telemetry",
     "TelemetryHook",
+    "TelemetryStreamWriter",
     "Timer",
     "Tracer",
     "build_manifest",
@@ -58,6 +78,7 @@ __all__ = [
     "enabled",
     "get_logger",
     "git_sha",
+    "read_stream",
     "repro_version",
     "setup_cli_logging",
     "use",

@@ -5,8 +5,16 @@ The day-loop engine measures matcher seconds itself (the timing seam of
 engine-measured ``matcher_seconds`` into per-phase timers
 (``engine.begin_day`` / ``engine.assign_batch`` / ``engine.end_day`` —
 their totals sum exactly to ``RunResult.decision_time``), synthesizes the
-corresponding spans for the Chrome trace, and accumulates the workload /
-utility / assignment distributions the paper's figures are built from.
+corresponding spans for the Chrome trace (carrying the engine-measured CPU
+seconds), and accumulates the workload / utility / assignment
+distributions the paper's figures are built from.
+
+When the owning :class:`~repro.obs.telemetry.Telemetry` carries a
+:class:`~repro.obs.stream.TelemetryStreamWriter`, the hook additionally
+flushes the registry and new spans to the stream at every day boundary,
+together with a progress record (day, batches, req/s, decision-time
+percentiles, per-day quality) — the live feed ``repro-lacb watch``
+renders and ``report`` falls back to for crashed runs.
 
 :class:`~repro.engine.loop.DayLoopEngine` attaches this hook automatically
 whenever :func:`repro.obs.telemetry.current` is active, so telemetry rides
@@ -15,6 +23,8 @@ the CLI — without any caller wiring.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -71,11 +81,26 @@ class TelemetryHook(RunHook):
         self._broker_workload = registry.histogram(
             "engine.broker_workload", boundaries=COUNT_BOUNDARIES, **labels
         )
+        # Progress accounting for the streaming feed (wall clock, not the
+        # decision-time seam: req/s is a serving-rate, not a result).
+        self._run_meta = {
+            "algorithm": context.matcher.name,
+            "num_days": context.num_days,
+            "num_brokers": context.num_brokers,
+            "batches_per_day": context.batches_per_day,
+        }
+        self._wall_start = time.perf_counter()
+        self._requests_seen = 0
+        self._utility_total = 0.0
+        self._last_progress: dict = dict(self._run_meta, day=-1)
 
     def on_day_start(self, event: DayStartEvent) -> None:
         self._begin_timer.observe(event.matcher_seconds)
         self.telemetry.record_span(
-            "engine.begin_day", event.matcher_seconds, day=str(event.day)
+            "engine.begin_day",
+            event.matcher_seconds,
+            cpu=event.matcher_cpu_seconds,
+            day=str(event.day),
         )
 
     def on_batch_assigned(self, event: BatchAssignedEvent) -> None:
@@ -83,16 +108,23 @@ class TelemetryHook(RunHook):
         self.telemetry.record_span(
             "engine.assign_batch",
             event.matcher_seconds,
+            cpu=event.matcher_cpu_seconds,
             day=str(event.day),
             batch=str(event.batch),
         )
         self._batches.inc()
         self._assignments.inc(len(event.assignment))
         self._batch_requests.observe(event.request_ids.size)
+        self._requests_seen += int(event.request_ids.size)
 
     def on_day_end(self, event: DayEndEvent) -> None:
         self._end_timer.observe(event.matcher_seconds)
-        self.telemetry.record_span("engine.end_day", event.matcher_seconds, day=str(event.day))
+        self.telemetry.record_span(
+            "engine.end_day",
+            event.matcher_seconds,
+            cpu=event.matcher_cpu_seconds,
+            day=str(event.day),
+        )
         self._days.inc()
         outcome = event.outcome
         self._day_utility.observe(float(outcome.total_realized_utility))
@@ -100,6 +132,55 @@ class TelemetryHook(RunHook):
         for workload in workloads:
             self._broker_workload.observe(float(workload))
         self._served.inc(int((workloads > 0).sum()))
+        stream = self.telemetry.stream
+        if stream is not None:
+            self._last_progress = self._progress(event, workloads)
+            stream.maybe_flush(
+                self.telemetry, day=event.day, progress=self._last_progress
+            )
 
     def on_run_end(self, context: RunContext) -> None:
+        stream = self.telemetry.stream
+        if stream is not None:
+            stream.flush(
+                self.telemetry,
+                day=self._last_progress.get("day", -1),
+                progress=self._last_progress,
+                final=True,
+            )
         self.telemetry.set_run_label(self._previous_label)
+
+    # ------------------------------------------------------------------
+    # Streaming progress
+    # ------------------------------------------------------------------
+    def _progress(self, event: DayEndEvent, workloads: np.ndarray) -> dict:
+        """One day's live status: throughput, latency percentiles, quality."""
+        wall = time.perf_counter() - self._wall_start
+        outcome = event.outcome
+        self._utility_total += float(outcome.total_realized_utility)
+        served = float((workloads > 0).mean()) if workloads.size else 0.0
+        mean_workload = float(workloads.mean()) if workloads.size else 0.0
+        dispersion = (
+            float(workloads.std() / mean_workload) if mean_workload > 0 else 0.0
+        )
+        sketch = self._assign_timer.sketch
+        p50, p95, p99 = sketch.quantiles() if sketch.count else (0.0, 0.0, 0.0)
+        return dict(
+            self._run_meta,
+            day=event.day,
+            batches=int(self._batches.value),
+            assignments=int(self._assignments.value),
+            requests=self._requests_seen,
+            wall_seconds=wall,
+            requests_per_second=(self._requests_seen / wall) if wall > 0 else 0.0,
+            decision_seconds=(
+                self._begin_timer.total + self._assign_timer.total + self._end_timer.total
+            ),
+            assign_p50=p50,
+            assign_p95=p95,
+            assign_p99=p99,
+            day_utility=float(outcome.total_realized_utility),
+            total_utility=self._utility_total,
+            utilization=served,
+            workload_dispersion=dispersion,
+        )

@@ -87,6 +87,36 @@ def describe_specs(specs: Sequence) -> list[dict]:
     return described
 
 
+def describe_telemetry(telemetry) -> dict | None:
+    """Telemetry lineage of a run: its live stream directory and segments.
+
+    Returns ``None`` when the telemetry never streamed (nothing to link).
+    Each segment entry records its name, last flushed day, flush count and
+    whether its run completed — the counterpart of the
+    ``telemetry_segment`` field on checkpoint index lines, so manifests
+    and checkpoints cross-reference the same lineage.
+    """
+    stream_dir = getattr(telemetry, "stream_dir", None)
+    if not stream_dir:
+        return None
+    from repro.obs.stream import read_stream
+
+    view = read_stream(stream_dir)
+    return {
+        "stream_dir": stream_dir,
+        "complete": view.complete,
+        "segments": [
+            {
+                "segment": segment.segment,
+                "day": segment.day,
+                "flushes": segment.flushes,
+                "final": segment.final,
+            }
+            for segment in view.segments
+        ],
+    }
+
+
 def build_manifest(
     command: str | None = None,
     args: Mapping | None = None,

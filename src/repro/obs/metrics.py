@@ -19,6 +19,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
+from repro.obs.quantiles import REPORT_QUANTILES, QuantileSketch
+
 #: Default histogram boundaries for second-scale durations.
 DURATION_BOUNDARIES = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -91,6 +93,12 @@ class Gauge:
 class Histogram:
     """Fixed-boundary histogram with inclusive (``le``) upper bounds.
 
+    Alongside the fixed buckets every histogram feeds a
+    :class:`~repro.obs.quantiles.QuantileSketch`, so p50/p95/p99 are
+    available with bounded relative error regardless of how coarse the
+    configured boundaries are; the sketch merges exactly, like the
+    bucket counts.
+
     Args:
         boundaries: strictly increasing bucket upper bounds.  Observations
             land in the first bucket whose boundary is ``>= value``; values
@@ -98,7 +106,7 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("boundaries", "counts", "sum")
+    __slots__ = ("boundaries", "counts", "sum", "sketch")
 
     def __init__(self, boundaries: Iterable[float] = DURATION_BOUNDARIES) -> None:
         bounds = tuple(float(b) for b in boundaries)
@@ -109,6 +117,7 @@ class Histogram:
         self.boundaries = bounds
         self.counts = [0] * (len(bounds) + 1)  # final slot = overflow
         self.sum = 0.0
+        self.sketch = QuantileSketch()
 
     @property
     def count(self) -> int:
@@ -120,6 +129,11 @@ class Histogram:
         value = float(value)
         self.counts[bisect_left(self.boundaries, value)] += 1
         self.sum += value
+        self.sketch.observe(value)
+
+    def quantile(self, q: float) -> float:
+        """Sketch-backed quantile estimate (see :class:`QuantileSketch`)."""
+        return self.sketch.quantile(q)
 
     def merge(self, other: Histogram) -> None:
         if other.boundaries != self.boundaries:
@@ -129,27 +143,44 @@ class Histogram:
             )
         self.counts = [a + b for a, b in zip(self.counts, other.counts)]
         self.sum += other.sum
+        self.sketch.merge(other.sketch)
 
     def state(self) -> dict:
-        return {"boundaries": list(self.boundaries), "counts": list(self.counts), "sum": self.sum}
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "sketch": self.sketch.state(),
+        }
 
     def load(self, state: Mapping) -> None:
         self.boundaries = tuple(float(b) for b in state["boundaries"])
         self.counts = [int(c) for c in state["counts"]]
         self.sum = float(state["sum"])
+        # Payloads from pre-sketch versions carry no sketch; start empty.
+        if "sketch" in state:
+            self.sketch = QuantileSketch.from_state(state["sketch"])
+        else:
+            self.sketch = QuantileSketch()
 
 
 class Timer:
-    """Duration accumulator: call count, total seconds, min/max."""
+    """Duration accumulator: call count, total seconds, min/max, quantiles.
+
+    Every observation also feeds a
+    :class:`~repro.obs.quantiles.QuantileSketch`, so per-phase p50/p95/p99
+    survive the cross-process registry merge exactly.
+    """
 
     kind = "timer"
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "sketch")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
+        self.sketch = QuantileSketch()
 
     def observe(self, seconds: float) -> None:
         seconds = float(seconds)
@@ -159,26 +190,43 @@ class Timer:
             self.min = seconds
         if seconds > self.max:
             self.max = seconds
+        self.sketch.observe(seconds)
 
     @property
     def mean(self) -> float:
         """Mean seconds per call (0 when never observed)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Sketch-backed quantile estimate (see :class:`QuantileSketch`)."""
+        return self.sketch.quantile(q)
+
     def merge(self, other: Timer) -> None:
         self.count += other.count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        self.sketch.merge(other.sketch)
 
     def state(self) -> dict:
-        return {"count": self.count, "total": self.total, "min": self.min, "max": self.max}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "sketch": self.sketch.state(),
+        }
 
     def load(self, state: Mapping) -> None:
         self.count = int(state["count"])
         self.total = float(state["total"])
         self.min = float(state["min"])
         self.max = float(state["max"])
+        # Payloads from pre-sketch versions carry no sketch; start empty.
+        if "sketch" in state:
+            self.sketch = QuantileSketch.from_state(state["sketch"])
+        else:
+            self.sketch = QuantileSketch()
 
 
 _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram, Timer)}
@@ -296,13 +344,10 @@ class MetricsRegistry:
             existing = self._metrics.get((name, labels))
             if existing is None:
                 # Adopt a fresh instance so the source registry stays intact.
-                clone = type(metric).__new__(type(metric))
                 if isinstance(metric, Histogram):
-                    clone.boundaries = metric.boundaries
-                    clone.counts = [0] * len(metric.counts)
-                    clone.sum = 0.0
+                    clone = Histogram(boundaries=metric.boundaries)
                 else:
-                    type(metric).__init__(clone)
+                    clone = type(metric)()
                 clone.merge(metric)
                 self._metrics[(name, labels)] = clone
             elif existing.kind != metric.kind:
@@ -343,6 +388,13 @@ class MetricsRegistry:
                 lines.append(f"{base}_count{_prom_labels(labels)} {metric.count}")
             elif isinstance(metric, Timer):
                 _prom_type(lines, seen_types, f"{base}_seconds", "summary")
+                if metric.count:
+                    for q in REPORT_QUANTILES:
+                        lines.append(
+                            f"{base}_seconds"
+                            f"{_prom_labels(labels, quantile=_prom_value(q))} "
+                            f"{_prom_value(metric.quantile(q))}"
+                        )
                 lines.append(
                     f"{base}_seconds_sum{_prom_labels(labels)} {_prom_value(metric.total)}"
                 )
@@ -361,13 +413,25 @@ def _prom_type(lines: list[str], seen: set[str], base: str, kind: str) -> None:
         seen.add(base)
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, ``\\n``."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _prom_labels(labels: LabelItems, **extra: str) -> str:
-    parts = [f'{k}="{v}"' for k, v in labels] + [f'{k}="{v}"' for k, v in extra.items()]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels] + [
+        f'{k}="{_prom_escape(v)}"' for k, v in extra.items()
+    ]
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
 def _prom_value(value: float) -> str:
+    value = float(value)
     if value == float("inf"):
         return "+Inf"
-    rendered = repr(float(value))
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    rendered = repr(value)
     return rendered[:-2] if rendered.endswith(".0") else rendered

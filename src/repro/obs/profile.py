@@ -1,0 +1,227 @@
+"""Phase profiler: deterministic wall/CPU attribution over the span stream.
+
+The tracer (:mod:`repro.obs.tracing`) records two kinds of spans.  *Live*
+spans close via context manager, so the single-threaded tracer appends
+them in strict post-order — a record at depth ``d`` is the parent of the
+immediately preceding unclaimed records at depth ``d + 1``.  *Synthesized*
+engine-phase spans (``engine.begin_day`` / ``assign_batch`` / ``end_day``)
+are booked by the telemetry hook *after* the timed matcher call returned,
+so they appear after their interior spans at the same depth.  The profiler
+reconstructs one tree from both: an engine-phase record adopts, besides
+its depth children, every same-depth record still unclaimed — exactly the
+live roots that finished since the previous engine phase.
+
+Append order, not timestamps, drives the reconstruction: synthesized spans
+are time-shifted (their window starts at ``now - duration`` after event
+dispatch), so temporal containment is unreliable, but the single-threaded
+append order is exact.  One consequence is documented rather than fought:
+spans recorded by *other hooks* between the matcher call and the telemetry
+event (checkpoint writes, invariant checks) are adopted by the enclosing
+engine phase frame — visually "work done at that point of the day", with
+self time clamped at zero.
+
+Per-day attribution comes from :attr:`SpanRecord.day`, stamped by the day
+loop — so every table here is a pure function of the recorded spans:
+byte-identical spans give byte-identical profiles.
+
+Outputs:
+
+- :func:`phase_stats` — per-phase calls / wall / CPU (day-filterable);
+- :func:`day_rows` — per-day × per-phase attribution;
+- :func:`hotspots` — top-N phases by *self* wall time (tree-based);
+- :func:`collapsed_stacks` / :func:`write_collapsed` — the
+  ``flamegraph.pl`` / speedscope collapsed-stack format, one
+  ``root;child;leaf <microseconds>`` line per stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.obs.tracing import SpanRecord
+
+#: Synthesized engine phases (the decision-time partition); these adopt
+#: unclaimed same-depth spans during tree reconstruction.
+ENGINE_PHASES = ("engine.begin_day", "engine.assign_batch", "engine.end_day")
+
+
+@dataclass
+class ProfileNode:
+    """One span with its reconstructed children."""
+
+    record: SpanRecord
+    children: list[ProfileNode] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not covered by children (clamped at zero: adopted
+        hook spans may exceed the engine-measured matcher window)."""
+        return max(0.0, self.record.duration - sum(c.record.duration for c in self.children))
+
+
+def build_forest(records: Iterable[SpanRecord]) -> list[ProfileNode]:
+    """Reconstruct span trees from append-ordered records, per pid lane."""
+    by_pid: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        by_pid.setdefault(record.pid, []).append(record)
+    forest: list[ProfileNode] = []
+    for pid in sorted(by_pid):
+        forest.extend(_build_lane(by_pid[pid]))
+    return forest
+
+
+def _build_lane(records: Sequence[SpanRecord]) -> list[ProfileNode]:
+    # pending[d]: completed, not-yet-claimed nodes at depth d, in order.
+    pending: dict[int, list[ProfileNode]] = {}
+    for record in records:
+        depth = record.depth
+        children = pending.pop(depth + 1, [])
+        if record.name in ENGINE_PHASES:
+            # The engine phase closed after its interior spans: adopt the
+            # unclaimed same-depth nodes (the live roots since the previous
+            # engine phase) in addition to ordinary depth children.  Earlier
+            # engine phases stay siblings — they partition decision time and
+            # must never nest under each other.
+            same_depth = pending.get(depth, [])
+            adopted = [n for n in same_depth if n.record.name not in ENGINE_PHASES]
+            if adopted:
+                pending[depth] = [n for n in same_depth if n.record.name in ENGINE_PHASES]
+            children = adopted + children
+        pending.setdefault(depth, []).append(ProfileNode(record, children))
+    roots: list[ProfileNode] = []
+    for depth in sorted(pending):
+        roots.extend(pending[depth])
+    roots.sort(key=lambda node: node.record.start)
+    return roots
+
+
+def _walk(forest: Iterable[ProfileNode]):
+    stack = list(forest)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+# ----------------------------------------------------------------------
+# Flat attribution (by name, by day) — no tree needed.
+# ----------------------------------------------------------------------
+def phase_stats(
+    records: Iterable[SpanRecord], day: int | None = None
+) -> list[tuple[str, int, float, float]]:
+    """Per-phase ``(name, calls, wall s, cpu s)``, wall-descending.
+
+    CPU sums only measured spans (``cpu >= 0``); a phase with no measured
+    span reports ``-1.0`` (unknown) rather than a misleading zero.
+    """
+    stats: dict[str, list[float]] = {}
+    for record in records:
+        if day is not None and record.day != day:
+            continue
+        entry = stats.setdefault(record.name, [0, 0.0, 0.0, 0])
+        entry[0] += 1
+        entry[1] += record.duration
+        if record.cpu >= 0:
+            entry[2] += record.cpu
+            entry[3] += 1
+    rows = [
+        (name, int(calls), wall, cpu if measured else -1.0)
+        for name, (calls, wall, cpu, measured) in stats.items()
+    ]
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def day_rows(
+    records: Iterable[SpanRecord], phases: Sequence[str] | None = None
+) -> list[tuple[int, str, int, float, float]]:
+    """Per-day × per-phase ``(day, name, calls, wall s, cpu s)`` rows.
+
+    Days sort ascending (day ``-1`` — outside any day — last); phases
+    wall-descending within a day.  ``phases`` restricts to the named
+    phases (default: all).
+    """
+    wanted = set(phases) if phases is not None else None
+    by_day: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        if wanted is not None and record.name not in wanted:
+            continue
+        by_day.setdefault(record.day, []).append(record)
+    rows: list[tuple[int, str, int, float, float]] = []
+    for day in sorted(by_day, key=lambda d: (d < 0, d)):
+        for name, calls, wall, cpu in phase_stats(by_day[day]):
+            rows.append((day, name, calls, wall, cpu))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tree-based attribution: self time and collapsed stacks.
+# ----------------------------------------------------------------------
+def hotspots(
+    records: Iterable[SpanRecord], top: int = 10
+) -> list[tuple[str, int, float, float, float]]:
+    """Top phases by self time: ``(name, calls, wall, self, cpu)``.
+
+    Self time is wall time minus reconstructed children — the honest
+    "where is time actually spent" number: a phase that merely wraps an
+    expensive callee ranks below the callee itself.
+    """
+    stats: dict[str, list[float]] = {}
+    for node in _walk(build_forest(records)):
+        record = node.record
+        entry = stats.setdefault(record.name, [0, 0.0, 0.0, 0.0, 0])
+        entry[0] += 1
+        entry[1] += record.duration
+        entry[2] += node.self_seconds
+        if record.cpu >= 0:
+            entry[3] += record.cpu
+            entry[4] += 1
+    rows = [
+        (name, int(calls), wall, self_s, cpu if measured else -1.0)
+        for name, (calls, wall, self_s, cpu, measured) in stats.items()
+    ]
+    rows.sort(key=lambda row: (-row[3], row[0]))
+    return rows[:top] if top else rows
+
+
+def collapsed_stacks(records: Iterable[SpanRecord]) -> dict[str, int]:
+    """Aggregate self time per stack path, in integer microseconds.
+
+    Keys are ``;``-joined span names from root to leaf — the
+    ``flamegraph.pl`` collapsed format.  Values are self-time
+    microseconds (the weight of the frame itself, with children drawn
+    on top by the renderer).  Zero-weight frames are kept when they have
+    children (pure wrappers still shape the graph) and dropped when
+    childless.
+    """
+    weights: dict[str, int] = {}
+
+    def visit(node: ProfileNode, prefix: str) -> None:
+        stack = f"{prefix};{node.record.name}" if prefix else node.record.name
+        micros = int(round(node.self_seconds * 1e6))
+        if micros > 0 or node.children:
+            weights[stack] = weights.get(stack, 0) + micros
+        for child in node.children:
+            visit(child, stack)
+
+    for root in build_forest(records):
+        visit(root, "")
+    return weights
+
+
+def write_collapsed(path, records: Iterable[SpanRecord]) -> str:
+    """Write collapsed stacks (sorted, atomic); returns the path.
+
+    The output loads directly in ``flamegraph.pl``, speedscope
+    (https://speedscope.app) or ``inferno-flamegraph``.
+    """
+    import os
+
+    from repro.state.io import atomic_open
+
+    weights = collapsed_stacks(records)
+    with atomic_open(path, "w") as handle:
+        for stack in sorted(weights):
+            handle.write(f"{stack} {weights[stack]}\n")
+    return os.fspath(path)

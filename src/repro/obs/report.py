@@ -3,43 +3,98 @@
 ``repro report DIR`` loads the artifacts written by
 :meth:`repro.obs.telemetry.Telemetry.export` and prints
 
-- the manifest header (version, git SHA, platform, wall-clock), and
+- the manifest header (version, git SHA, platform, wall-clock),
 - a per-phase time breakdown: for every algorithm, the engine-measured
   decision-time phases (``engine.begin_day`` / ``assign_batch`` /
   ``end_day``) and the instrumented interior spans (KM solve, CBS pruning,
   bandit predict/update, value-function updates), each with call counts,
-  totals and its share of the algorithm's decision time.
+  totals, share of decision time and p50/p95/p99 latencies from the
+  mergeable quantile sketches, and
+- profiler sections built from the span stream: top self-time hotspots
+  and wall/CPU attribution (see :mod:`repro.obs.profile`).
+
+Crashed runs still report: when ``metrics.json`` is missing (the process
+died before export), the loader falls back to the live stream segments
+under ``DIR/stream/`` (see :mod:`repro.obs.stream`) and reconstructs the
+registry from the last flushed snapshots — clearly marked as partial.
+A directory with neither artifacts, stream, nor manifest raises
+``FileNotFoundError``; anything that was ever a telemetry directory
+renders without raising.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Mapping
 
 from repro.obs.metrics import MetricsRegistry, Timer
-from repro.obs.telemetry import MANIFEST_JSON, METRICS_JSON
+from repro.obs.quantiles import REPORT_QUANTILES
+from repro.obs.telemetry import MANIFEST_JSON, METRICS_JSON, SPANS_JSONL
+from repro.obs.tracing import SpanRecord
 
 #: The engine-measured phases whose totals sum to ``RunResult.decision_time``.
 ENGINE_PHASES = ("engine.begin_day", "engine.assign_batch", "engine.end_day")
 
 
-def load_telemetry_dir(directory) -> tuple[dict | None, MetricsRegistry]:
-    """Load ``manifest.json`` (if present) and ``metrics.json`` from a dir."""
-    metrics_path = os.path.join(directory, METRICS_JSON)
-    if not os.path.exists(metrics_path):
-        raise FileNotFoundError(
-            f"{metrics_path} not found — is {directory!r} a telemetry directory "
-            f"(produced by --telemetry)?"
-        )
-    with open(metrics_path, encoding="utf-8") as handle:
-        registry = MetricsRegistry.from_dict(json.load(handle))
+def _load_with_fallback(directory) -> tuple[dict | None, MetricsRegistry, str]:
+    """Load (manifest, registry, source note); stream fallback when partial.
+
+    Source notes: ``""`` for a clean export; otherwise a human-readable
+    explanation of what was reconstructed (rendered as a report warning).
+    """
     manifest = None
     manifest_path = os.path.join(directory, MANIFEST_JSON)
     if os.path.exists(manifest_path):
         with open(manifest_path, encoding="utf-8") as handle:
             manifest = json.load(handle)
+
+    metrics_path = os.path.join(directory, METRICS_JSON)
+    if os.path.exists(metrics_path):
+        with open(metrics_path, encoding="utf-8") as handle:
+            registry = MetricsRegistry.from_dict(json.load(handle))
+        return manifest, registry, ""
+
+    from repro.obs.stream import read_stream, stream_dir_for
+
+    view = read_stream(stream_dir_for(directory))
+    if view.segments:
+        done = sum(1 for segment in view.segments if segment.final)
+        status = "complete" if view.complete else "run did not finish"
+        return manifest, view.merged_registry(), (
+            f"metrics.json missing — reconstructed from {len(view.segments)} "
+            f"streamed segment(s), {done} final ({status})"
+        )
+    if manifest is not None:
+        return manifest, MetricsRegistry(), (
+            "metrics.json missing and nothing streamed — the run died before "
+            "its first day boundary"
+        )
+    raise FileNotFoundError(
+        f"{metrics_path} not found — is {directory!r} a telemetry directory "
+        f"(produced by --telemetry)?"
+    )
+
+
+def load_telemetry_dir(directory) -> tuple[dict | None, MetricsRegistry]:
+    """Load ``manifest.json`` (if present) and the metrics of a dir.
+
+    Prefers the exported ``metrics.json``; falls back to reconstructing
+    from streamed segments when the run crashed before export.
+    """
+    manifest, registry, _source = _load_with_fallback(directory)
     return manifest, registry
+
+
+def load_spans(directory) -> list[SpanRecord]:
+    """Load span records: exported ``spans.jsonl``, else streamed deltas."""
+    spans_path = os.path.join(directory, SPANS_JSONL)
+    if os.path.exists(spans_path):
+        from repro.state.io import read_jsonl
+
+        return [SpanRecord.from_dict(entry) for entry in read_jsonl(spans_path)]
+    from repro.obs.stream import read_stream, stream_dir_for
+
+    return read_stream(stream_dir_for(directory)).spans()
 
 
 def decision_time_by_algorithm(registry: MetricsRegistry) -> dict[str, float]:
@@ -53,13 +108,17 @@ def decision_time_by_algorithm(registry: MetricsRegistry) -> dict[str, float]:
     return totals
 
 
-def phase_rows(registry: MetricsRegistry) -> list[tuple[str, str, int, float, float, str]]:
-    """Breakdown rows: (algorithm, phase, calls, total s, mean ms, share).
+def phase_rows(registry: MetricsRegistry) -> list[tuple]:
+    """Breakdown rows: (algorithm, phase, calls, total s, mean ms, share,
+    p50 ms, p95 ms, p99 ms).
 
     Engine phases come first (they partition decision time); interior spans
     (``span.*`` timers) follow, ordered by total descending.  Shares are
     relative to the algorithm's decision time; interior spans nest inside
     engine phases, so their shares are a drill-down, not a second sum.
+    Percentiles come from each timer's quantile sketch — exact across
+    process merges, so a ``jobs=8`` sweep reports the same tail latencies
+    as the serial run.
     """
     decision = decision_time_by_algorithm(registry)
     engine_rows = []
@@ -79,19 +138,138 @@ def phase_rows(registry: MetricsRegistry) -> list[tuple[str, str, int, float, fl
             continue
         total = decision.get(algorithm, 0.0)
         share = f"{metric.total / total:7.1%}" if total > 0 else "      -"
+        p50, p95, p99 = (
+            (metric.quantile(q) * 1e3 for q in REPORT_QUANTILES)
+            if metric.count
+            else (0.0, 0.0, 0.0)
+        )
         bucket.append(
-            (algorithm, phase, metric.count, metric.total, metric.mean * 1e3, share)
+            (algorithm, phase, metric.count, metric.total, metric.mean * 1e3,
+             share, p50, p95, p99)
         )
     engine_rows.sort(key=lambda row: (row[0], -row[3]))
     span_rows.sort(key=lambda row: (row[0], -row[3]))
     return engine_rows + span_rows
 
 
+PHASE_HEADERS = [
+    "algorithm", "phase", "calls", "total s", "mean ms", "% of decision",
+    "p50 ms", "p95 ms", "p99 ms",
+]
+
+
+def _format_cpu(cpu: float) -> str:
+    """CPU seconds column; ``-1`` (unmeasured) renders as a dash."""
+    return f"{cpu:.3f}" if cpu >= 0 else "-"
+
+
+def hotspot_rows(spans: list[SpanRecord], top: int = 10) -> list[tuple]:
+    """Self-time hotspot rows: (phase, calls, wall s, self s, cpu)."""
+    from repro.obs.profile import hotspots
+
+    return [
+        (name, calls, wall, self_s, _format_cpu(cpu))
+        for name, calls, wall, self_s, cpu in hotspots(spans, top=top)
+    ]
+
+
+def day_profile_rows(spans: list[SpanRecord], top_days: int = 10) -> list[tuple]:
+    """Per-day engine-phase attribution, worst ``top_days`` days by wall.
+
+    Columns: (day, phase, calls, wall s, cpu).  Day ``-1`` (outside the
+    loop) is excluded — it holds run-end bookkeeping, not day work.
+    """
+    from repro.obs.profile import day_rows
+
+    rows = [row for row in day_rows(spans, phases=ENGINE_PHASES) if row[0] >= 0]
+    day_wall: dict[int, float] = {}
+    for day, _name, _calls, wall, _cpu in rows:
+        day_wall[day] = day_wall.get(day, 0.0) + wall
+    worst = set(sorted(day_wall, key=lambda d: -day_wall[d])[:top_days])
+    return [
+        (day, name, calls, wall, _format_cpu(cpu))
+        for day, name, calls, wall, cpu in rows
+        if day in worst
+    ]
+
+
+def progress_rows(directory) -> list[tuple]:
+    """Last streamed progress per segment (for partial-run reports)."""
+    from repro.obs.stream import read_stream, stream_dir_for
+
+    rows = []
+    for segment in read_stream(stream_dir_for(directory)).segments:
+        progress = segment.progress
+        rows.append(
+            (
+                segment.segment,
+                progress.get("algorithm", "?"),
+                f"{segment.day + 1}/{progress.get('num_days', '?')}",
+                "done" if segment.final else "partial",
+                progress.get("assignments", 0),
+                f"{progress.get('requests_per_second', 0.0):.0f}",
+                f"{progress.get('total_utility', 0.0):.1f}",
+            )
+        )
+    return rows
+
+
+def render_watch(directory) -> tuple[str, bool]:
+    """One frame of the live view over a telemetry directory's stream.
+
+    Returns ``(text, complete)`` — ``complete`` is True once every
+    streamed segment's run has finished, which is the watch loop's exit
+    condition.  A directory with nothing streamed yet renders a waiting
+    message (watch is typically started before — or seconds after — the
+    run, so "no data yet" is a normal frame, not an error).
+    """
+    from repro.experiments.reporting import format_table
+    from repro.obs.stream import read_stream, stream_dir_for
+
+    view = read_stream(stream_dir_for(directory))
+    if not view.segments:
+        return (f"waiting for stream segments under {stream_dir_for(directory)} ...", False)
+    lines = [
+        format_table(
+            ["segment", "algorithm", "day", "state", "assignments", "req/s", "utility"],
+            progress_rows(directory),
+            title=f"Live telemetry ({directory})",
+        )
+    ]
+    latency = []
+    for segment in view.segments:
+        progress = segment.progress
+        if "assign_p50" in progress:
+            latency.append(
+                (
+                    progress.get("algorithm", segment.segment),
+                    f"{progress['assign_p50'] * 1e3:.2f}",
+                    f"{progress['assign_p95'] * 1e3:.2f}",
+                    f"{progress['assign_p99'] * 1e3:.2f}",
+                    f"{progress.get('utilization', 0.0):.1%}",
+                    f"{progress.get('workload_dispersion', 0.0):.2f}",
+                )
+            )
+    if latency:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["algorithm", "p50 ms", "p95 ms", "p99 ms", "utilization", "dispersion"],
+                latency,
+                title="assign_batch latency (sketch percentiles) and day quality",
+            )
+        )
+    if view.complete:
+        lines.append("")
+        lines.append("all segments final — run complete")
+    return "\n".join(lines), view.complete
+
+
 def render_report(directory) -> str:
     """The full plain-text report for one telemetry directory."""
     from repro.experiments.reporting import format_table
 
-    manifest, registry = load_telemetry_dir(directory)
+    manifest, registry, source = _load_with_fallback(directory)
     lines: list[str] = []
     if manifest:
         lines.append(f"manifest: {manifest.get('command', 'run')} "
@@ -102,6 +280,20 @@ def render_report(directory) -> str:
         if "wall_seconds" in manifest:
             lines.append(f"wall-clock: {manifest['wall_seconds']:.2f}s "
                          f"(created {manifest.get('created_utc', '?')})")
+        lines.append("")
+    if source:
+        lines.append(f"WARNING: {source}")
+        rows = progress_rows(directory)
+        if rows:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["segment", "algorithm", "day", "state", "assignments",
+                     "req/s", "utility"],
+                    rows,
+                    title="Streamed progress (last flush per segment)",
+                )
+            )
         lines.append("")
 
     decision = decision_time_by_algorithm(registry)
@@ -118,14 +310,31 @@ def render_report(directory) -> str:
     rows = phase_rows(registry)
     if rows:
         lines.append(
-            format_table(
-                ["algorithm", "phase", "calls", "total s", "mean ms", "% of decision"],
-                rows,
-                title="Per-phase time breakdown",
-            )
+            format_table(PHASE_HEADERS, rows, title="Per-phase time breakdown")
         )
     else:
         lines.append("no phase timers recorded (was the run executed with telemetry on?)")
+
+    spans = load_spans(directory)
+    if spans:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["phase", "calls", "wall s", "self s", "cpu s"],
+                hotspot_rows(spans),
+                title="Hotspots (by self time, span-tree reconstruction)",
+            )
+        )
+        day_table = day_profile_rows(spans)
+        if day_table:
+            lines.append("")
+            lines.append(
+                format_table(
+                    ["day", "phase", "calls", "wall s", "cpu s"],
+                    day_table,
+                    title="Per-day engine phases (worst 10 days by wall time)",
+                )
+            )
 
     counters = [
         (name, labels.get("algorithm", ""), int(metric.value))

@@ -69,6 +69,11 @@ class Telemetry:
         self.tracer = Tracer(clock)
         self.tracer.on_finish = self._book_span
         self.run_label: str | None = None
+        #: Live streaming: a :class:`~repro.obs.stream.TelemetryStreamWriter`
+        #: the TelemetryHook flushes to at day boundaries (None = off), and
+        #: the directory ``run_many`` derives per-spec worker segments from.
+        self.stream = None
+        self.stream_dir: str | None = None
         # Hot-path caches, invalidated on every run-label change: resolved
         # metric instances (skipping per-call label canonicalization) and
         # one shared attrs dict for spans without explicit attributes
@@ -103,11 +108,13 @@ class Telemetry:
             attrs["algorithm"] = self.run_label
         return _Span(self.tracer, name, attrs)
 
-    def record_span(self, name: str, duration: float, **attrs: str) -> None:
+    def record_span(
+        self, name: str, duration: float, cpu: float = -1.0, **attrs: str
+    ) -> None:
         """Book an externally measured duration as a span ending now."""
         if self.run_label and "algorithm" not in attrs:
             attrs["algorithm"] = self.run_label
-        self.tracer.record_span(name, duration, **attrs)
+        self.tracer.record_span(name, duration, cpu=cpu, **attrs)
 
     def _book_span(self, record: SpanRecord) -> None:
         timer = self._span_timers.get(record.name)

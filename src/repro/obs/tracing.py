@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
+from time import process_time
 from typing import Callable, Iterable, Mapping
 
 
@@ -42,6 +43,11 @@ class SpanRecord:
         depth: nesting depth at begin (0 = top level).
         pid: process lane (0 = the tracer's own process; worker payloads
             merged by :meth:`Tracer.extend` get their own lane).
+        day: the engine day the span executed under (``-1`` outside any
+            day; stamped from :attr:`Tracer.day`, which the day loop
+            maintains — the substrate of per-day profiling).
+        cpu: CPU seconds consumed inside the span (``process_time``
+            delta); ``-1.0`` when unmeasured (synthesized spans).
         attrs: free-form string attributes (algorithm, day, ...).
     """
 
@@ -50,6 +56,8 @@ class SpanRecord:
     duration: float
     depth: int = 0
     pid: int = 0
+    day: int = -1
+    cpu: float = -1.0
     attrs: dict[str, str] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -59,6 +67,8 @@ class SpanRecord:
             "duration": self.duration,
             "depth": self.depth,
             "pid": self.pid,
+            "day": self.day,
+            "cpu": self.cpu,
             "attrs": self.attrs,
         }
 
@@ -70,6 +80,8 @@ class SpanRecord:
             duration=float(payload["duration"]),
             depth=int(payload.get("depth", 0)),
             pid=int(payload.get("pid", 0)),
+            day=int(payload.get("day", -1)),
+            cpu=float(payload.get("cpu", -1.0)),
             attrs=dict(payload.get("attrs", {})),
         )
 
@@ -77,7 +89,7 @@ class SpanRecord:
 class _Span:
     """Context manager produced by :meth:`Tracer.span`."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_start")
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_cpu_start")
 
     def __init__(self, tracer: Tracer, name: str, attrs: dict[str, str]) -> None:
         self._tracer = tracer
@@ -87,14 +99,18 @@ class _Span:
     def __enter__(self) -> _Span:
         tracer = self._tracer
         tracer._depth += 1
+        self._cpu_start = process_time()
         self._start = tracer._clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         tracer = self._tracer
         end = tracer._clock()
+        cpu = process_time() - self._cpu_start
         tracer._depth -= 1
-        tracer._finish(self.name, self._start, end - self._start, tracer._depth, self.attrs)
+        tracer._finish(
+            self.name, self._start, end - self._start, tracer._depth, self.attrs, cpu=cpu
+        )
 
 
 class Tracer:
@@ -115,6 +131,11 @@ class Tracer:
         self.epoch_walltime = time.time()
         self.records: list[SpanRecord] = []
         self._depth = 0
+        #: The engine day currently executing (``-1`` outside any day).
+        #: Maintained by the day loop; stamped onto every finished span so
+        #: the profiler can attribute interior phases to days without
+        #: per-call-site plumbing.
+        self.day = -1
         #: Called with each finished record (the telemetry layer uses this
         #: to feed span durations into the metrics registry).
         self.on_finish: Callable[[SpanRecord], None] | None = None
@@ -126,21 +147,31 @@ class Tracer:
         """Open a nested span; closes (and records) on context exit."""
         return _Span(self, name, attrs)
 
-    def record_span(self, name: str, duration: float, **attrs: str) -> SpanRecord:
+    def record_span(
+        self, name: str, duration: float, cpu: float = -1.0, **attrs: str
+    ) -> SpanRecord:
         """Record an already-measured span ending now.
 
         Lifecycle hooks receive engine-measured ``matcher_seconds`` *after*
         the timed call returned; this synthesizes the corresponding span
-        as ``[now - duration, now]`` without re-timing anything.
+        as ``[now - duration, now]`` without re-timing anything.  Pass
+        ``cpu`` when the caller measured CPU seconds alongside wall time
+        (the engine does for matcher phases).
         """
         end = self._clock()
-        return self._finish(name, end - duration, duration, self._depth, dict(attrs))
+        return self._finish(name, end - duration, duration, self._depth, dict(attrs), cpu=cpu)
 
     def _finish(
-        self, name: str, start: float, duration: float, depth: int, attrs: dict[str, str]
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        attrs: dict[str, str],
+        cpu: float = -1.0,
     ) -> SpanRecord:
         # Positional construction: this runs once per span on hot paths.
-        record = SpanRecord(name, start - self.epoch, duration, depth, 0, attrs)
+        record = SpanRecord(name, start - self.epoch, duration, depth, 0, self.day, cpu, attrs)
         self.records.append(record)
         if self.on_finish is not None:
             self.on_finish(record)

@@ -25,6 +25,21 @@ from repro.obs.telemetry import span as _span
 from repro.state.store import CheckpointRecord, CheckpointStore
 
 
+def _active_stream_segment() -> str | None:
+    """The live telemetry stream segment of this process, if any.
+
+    Recorded on every checkpoint index line (telemetry lineage): a
+    regression hunt that starts from a checkpoint can find the exact
+    streamed telemetry segment that observed the run writing it.
+    """
+    from repro.obs.telemetry import current
+
+    telemetry = current()
+    if telemetry is None or telemetry.stream is None:
+        return None
+    return telemetry.stream.segment
+
+
 class RunInterrupted(RuntimeError):
     """Raised by :class:`StopAfterDay` to end a run at a day boundary."""
 
@@ -117,6 +132,7 @@ class CheckpointHook(RunHook):
                 run_id=self.run_id,
                 parent_run_id=self.parent_run_id,
                 resumed_from_day=self.resumed_from_day,
+                telemetry_segment=_active_stream_segment(),
             )
         _metric_add("state.checkpoints")
         self.records.append(record)

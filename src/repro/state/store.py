@@ -48,6 +48,10 @@ class CheckpointRecord:
             not the npz file bytes — zip timestamps are not deterministic).
         parent_run_id: the run this one resumed from, if any.
         resumed_from_day: the checkpoint day the parent was resumed at.
+        telemetry_segment: the live telemetry stream segment covering the
+            producing run (see :mod:`repro.obs.stream`), if one was
+            active — the lineage link from durable state back to the
+            telemetry that observed it being written.
         created_utc: ISO-8601 write timestamp (informational only).
         schema: the record schema identifier.
     """
@@ -58,6 +62,7 @@ class CheckpointRecord:
     sha256: str
     parent_run_id: str | None = None
     resumed_from_day: int | None = None
+    telemetry_segment: str | None = None
     created_utc: str | None = None
     schema: str = RECORD_SCHEMA
 
@@ -82,6 +87,7 @@ class CheckpointStore:
         run_id: str,
         parent_run_id: str | None = None,
         resumed_from_day: int | None = None,
+        telemetry_segment: str | None = None,
     ) -> CheckpointRecord:
         """Persist one state snapshot for ``day``; returns its record."""
         skeleton, arrays = codec.flatten_state(state)
@@ -96,6 +102,7 @@ class CheckpointStore:
             sha256=digest,
             parent_run_id=parent_run_id,
             resumed_from_day=resumed_from_day,
+            telemetry_segment=telemetry_segment,
             created_utc=datetime.now(timezone.utc).isoformat(timespec="seconds"),
         )
         append_jsonl(self.index_path, asdict(record))

@@ -92,6 +92,33 @@ def test_parallel_telemetry_merge_is_bit_identical_to_serial():
     assert "vfga.td_updates" in names
 
 
+def test_parallel_percentiles_bit_identical_to_serial():
+    """p50/p95/p99 must not depend on the jobs knob, bit for bit.
+
+    Histogram sketches merge as integer bucket counts in spec order, so
+    the merged quantiles of a jobs=2 run equal the serial run exactly —
+    not approximately.  ``engine.batch_requests`` is deterministic (batch
+    sizes are seeded), making the comparison meaningful.
+    """
+    serial, parallel = Telemetry(), Telemetry()
+    run_many(_telemetry_grid(), jobs=1, telemetry=serial)
+    run_many(_telemetry_grid(), jobs=2, telemetry=parallel)
+    from repro.obs.metrics import COUNT_BOUNDARIES
+
+    for algorithm in ("LACB-Opt", "Top-3"):
+        a = serial.registry.histogram(
+            "engine.batch_requests", boundaries=COUNT_BOUNDARIES, algorithm=algorithm
+        )
+        b = parallel.registry.histogram(
+            "engine.batch_requests", boundaries=COUNT_BOUNDARIES, algorithm=algorithm
+        )
+        assert a.sketch.count > 0
+        assert a.sketch.state() == b.sketch.state()
+        assert a.sketch.quantiles() == b.sketch.quantiles()
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == b.quantile(q)  # exact equality, no approx
+
+
 def test_run_many_uses_active_telemetry_by_default():
     telemetry = Telemetry()
     with obs.use(telemetry):

@@ -1,0 +1,163 @@
+"""Phase profiler: tree reconstruction, day attribution, stacks, hotspots."""
+
+import math
+
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec, run_many
+from repro.obs.profile import (
+    build_forest,
+    collapsed_stacks,
+    day_rows,
+    hotspots,
+    phase_stats,
+    write_collapsed,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import SpanRecord
+from repro.simulation import SyntheticConfig
+
+TINY = SyntheticConfig(num_brokers=15, num_requests=60, num_days=2, imbalance=0.1, seed=5)
+
+
+def _span(name, start, duration, depth=0, day=-1, cpu=-1.0, pid=0):
+    return SpanRecord(name, start, duration, depth, pid, day, cpu)
+
+
+def _synthetic_day():
+    """The append order the hook actually produces for one day.
+
+    Live spans close first (post-order), then the telemetry hook books the
+    synthesized engine-phase span at the same depth — which must adopt the
+    live roots recorded since the previous engine phase.
+    """
+    return [
+        _span("matching.solve", 0.01, 0.02, depth=1, day=0),
+        _span("vfga.assign_batch", 0.00, 0.04, depth=0, day=0),
+        _span("engine.assign_batch", 0.00, 0.05, depth=0, day=0, cpu=0.03),
+        _span("matching.solve", 0.06, 0.01, depth=1, day=0),
+        _span("vfga.assign_batch", 0.06, 0.02, depth=0, day=0),
+        _span("engine.assign_batch", 0.06, 0.03, depth=0, day=0, cpu=0.01),
+        _span("engine.end_day", 0.09, 0.01, depth=0, day=0, cpu=0.005),
+    ]
+
+
+def test_engine_phases_adopt_live_roots_not_each_other():
+    forest = build_forest(_synthetic_day())
+    names = [node.record.name for node in forest]
+    # All three engine phases are roots — siblings, never nested.
+    assert names == ["engine.assign_batch", "engine.assign_batch", "engine.end_day"]
+    first, second, end_day = forest
+    assert [c.record.name for c in first.children] == ["vfga.assign_batch"]
+    assert [c.record.name for c in first.children[0].children] == ["matching.solve"]
+    assert [c.record.name for c in second.children] == ["vfga.assign_batch"]
+    assert end_day.children == []
+
+
+def test_self_time_subtracts_children_and_clamps():
+    forest = build_forest(_synthetic_day())
+    first = forest[0]
+    assert first.self_seconds == max(0.0, 0.05 - 0.04)
+    matcher = first.children[0]
+    assert math.isclose(matcher.self_seconds, 0.04 - 0.02)
+    # A child longer than its adoptive parent clamps to zero, not negative.
+    clamped = build_forest(
+        [
+            _span("state.checkpoint", 0.0, 0.20, depth=0, day=0),
+            _span("engine.end_day", 0.1, 0.01, depth=0, day=0),
+        ]
+    )
+    assert clamped[0].record.name == "engine.end_day"
+    assert clamped[0].self_seconds == 0.0
+
+
+def test_lanes_are_independent_trees():
+    records = _synthetic_day() + [
+        _span("vfga.assign_batch", 0.0, 0.04, depth=0, day=0, pid=1),
+        _span("engine.assign_batch", 0.0, 0.05, depth=0, day=0, pid=1),
+    ]
+    forest = build_forest(records)
+    assert len(forest) == 4  # three lane-0 roots + one lane-1 root
+    lane1 = [n for n in forest if n.record.pid == 1]
+    assert len(lane1) == 1
+    assert [c.record.name for c in lane1[0].children] == ["vfga.assign_batch"]
+
+
+def test_phase_stats_day_filter_and_unknown_cpu():
+    records = _synthetic_day() + [_span("engine.begin_day", 0.2, 0.01, day=1)]
+    rows = phase_stats(records, day=0)
+    by_name = {name: (calls, wall, cpu) for name, calls, wall, cpu in rows}
+    assert by_name["engine.assign_batch"][0] == 2
+    assert math.isclose(by_name["engine.assign_batch"][2], 0.04)  # cpu sum
+    # Live spans carry no CPU measurement: reported as unknown, not zero.
+    assert by_name["matching.solve"][2] == -1.0
+    assert "engine.begin_day" not in by_name  # day 1 filtered out
+    # Rows are wall-descending.
+    assert [row[2] for row in rows] == sorted((row[2] for row in rows), reverse=True)
+
+
+def test_day_rows_order_days_ascending_with_daylless_last():
+    records = [
+        _span("export", 1.0, 0.1, day=-1),
+        _span("engine.begin_day", 0.5, 0.1, day=1),
+        _span("engine.begin_day", 0.0, 0.1, day=0),
+    ]
+    rows = day_rows(records)
+    assert [row[0] for row in rows] == [0, 1, -1]
+    only_engine = day_rows(records, phases=("engine.begin_day",))
+    assert all(row[1] == "engine.begin_day" for row in only_engine)
+    assert len(only_engine) == 2
+
+
+def test_hotspots_rank_by_self_time():
+    rows = hotspots(_synthetic_day(), top=2)
+    assert len(rows) == 2
+    # vfga self (0.04-0.02 + 0.02-0.01) and matching self (0.02 + 0.01)
+    # tie at 0.03 and beat both engine wrappers (0.01 + 0.01 self).
+    assert {rows[0][0], rows[1][0]} == {"vfga.assign_batch", "matching.solve"}
+    assert math.isclose(rows[0][3], 0.03)
+    assert math.isclose(rows[1][3], 0.03)
+    assert [row[3] for row in rows] == sorted((row[3] for row in rows), reverse=True)
+
+
+def test_collapsed_stacks_paths_and_weights():
+    weights = collapsed_stacks(_synthetic_day())
+    assert "engine.assign_batch;vfga.assign_batch;matching.solve" in weights
+    # Self-time microseconds, summed across the two batches.
+    assert weights["engine.assign_batch;vfga.assign_batch"] == 30000
+    assert weights["engine.assign_batch;vfga.assign_batch;matching.solve"] == 30000
+    # No engine phase ever appears below another engine phase.
+    for stack in weights:
+        frames = stack.split(";")
+        engine_frames = [f for f in frames if f.startswith("engine.")]
+        assert len(engine_frames) <= 1
+        if engine_frames:
+            assert frames[0] == engine_frames[0]
+
+
+def test_write_collapsed_is_deterministic(tmp_path):
+    first = tmp_path / "a.txt"
+    second = tmp_path / "b.txt"
+    write_collapsed(first, _synthetic_day())
+    write_collapsed(second, _synthetic_day())
+    assert first.read_text() == second.read_text()
+    lines = first.read_text().splitlines()
+    assert lines == sorted(lines)
+    assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+
+def test_real_run_profiles_cleanly():
+    """End to end: a real engine run yields sane trees and stacks."""
+    telemetry = Telemetry()
+    # LACB-Opt opens interior spans (vfga.assign_batch, matching.solve),
+    # so the reconstructed stacks actually nest.
+    spec = RunSpec(platform=PlatformSpec.synthetic(TINY), matcher=MatcherSpec("LACB-Opt", seed=1))
+    run_many([spec], jobs=1, telemetry=telemetry)
+    records = telemetry.tracer.records
+    rows = day_rows(records, phases=("engine.assign_batch",))
+    assert [row[0] for row in rows] == list(range(TINY.num_days))
+    stacks = collapsed_stacks(records)
+    assert any(stack.startswith("engine.assign_batch;") for stack in stacks)
+    for stack in stacks:
+        assert stack.count("engine.assign_batch") <= 1, stack
+    # Matcher CPU was measured on the engine phases.
+    by_name = {name: cpu for name, _, _, cpu in phase_stats(records)}
+    assert by_name["engine.assign_batch"] >= 0.0

@@ -1,0 +1,86 @@
+"""Prometheus text exposition: edge cases a scraper must survive.
+
+The exporter output is consumed verbatim by Prometheus' text parser, so
+these tests pin the format corners: empty registries, label values with
+quotes/backslashes/newlines, non-finite observations, zero-count
+histograms and timer summary quantiles.
+"""
+
+import math
+
+from repro.obs.metrics import COUNT_BOUNDARIES, MetricsRegistry
+from repro.obs.quantiles import REPORT_QUANTILES
+
+
+def test_empty_registry_renders_empty_string():
+    assert MetricsRegistry().prometheus_text() == ""
+
+
+def test_label_values_escaped():
+    registry = MetricsRegistry()
+    registry.counter(
+        "events", path='C:\\runs\\x', note='say "hi"\nbye'
+    ).inc()
+    text = registry.prometheus_text()
+    assert r'path="C:\\runs\\x"' in text
+    assert r'note="say \"hi\"\nbye"' in text
+    # The escaped line must stay a single physical line.
+    [line] = [l for l in text.splitlines() if l.startswith("repro_events{")]
+    assert line.endswith(" 1")
+
+
+def test_non_finite_values_render_prometheus_spellings():
+    registry = MetricsRegistry()
+    registry.gauge("pos").set(math.inf)
+    registry.gauge("neg").set(-math.inf)
+    registry.gauge("nan").set(math.nan)
+    text = registry.prometheus_text()
+    assert "repro_pos +Inf" in text
+    assert "repro_neg -Inf" in text
+    assert "repro_nan NaN" in text
+
+
+def test_zero_count_histogram_exports_complete_series():
+    registry = MetricsRegistry()
+    registry.histogram("empty", boundaries=COUNT_BOUNDARIES)
+    text = registry.prometheus_text()
+    # All cumulative buckets present and zero, +Inf bucket, sum and count.
+    assert text.count("repro_empty_bucket") == len(COUNT_BOUNDARIES) + 1
+    assert 'le="+Inf"} 0' in text
+    assert "repro_empty_sum 0" in text
+    assert "repro_empty_count 0" in text
+
+
+def test_zero_count_timer_has_no_quantile_lines():
+    registry = MetricsRegistry()
+    registry.timer("idle")
+    text = registry.prometheus_text()
+    assert "quantile=" not in text
+    assert "repro_idle_seconds_count 0" in text
+
+
+def test_timer_summary_quantiles_present_and_ordered():
+    registry = MetricsRegistry()
+    timer = registry.timer("solve", algorithm="LACB-Opt")
+    for value in (0.001, 0.002, 0.010, 0.100):
+        timer.observe(value)
+    text = registry.prometheus_text()
+    for q in REPORT_QUANTILES:
+        assert f'quantile="{q}"' in text
+    # Quantile values are monotone in q for this sample.
+    values = []
+    for line in text.splitlines():
+        if "quantile=" in line:
+            values.append(float(line.rsplit(" ", 1)[1]))
+    assert values == sorted(values)
+
+
+def test_non_finite_histogram_observation_keeps_export_parseable():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("weird", boundaries=(1.0, 10.0))
+    histogram.observe(math.inf)
+    histogram.observe(math.nan)
+    text = registry.prometheus_text()
+    # Sum is NaN (inf + nan); every line still renders and count is exact.
+    assert "repro_weird_sum NaN" in text
+    assert "repro_weird_count 2" in text

@@ -61,3 +61,46 @@ def test_render_report_roundtrip_from_export(tmp_path):
 def test_missing_directory_gives_actionable_error(tmp_path):
     with pytest.raises(FileNotFoundError, match="telemetry directory"):
         render_report(tmp_path / "nope")
+
+
+def test_phase_rows_percentiles_come_from_the_sketch():
+    telemetry = Telemetry()
+    label = telemetry.labels()
+    telemetry.set_run_label("LACB-Opt")
+    label = telemetry.labels()
+    timer = telemetry.registry.timer("engine.assign_batch", **label)
+    for ms in range(1, 101):  # 1..100 ms ramp
+        timer.observe(ms / 1000.0)
+    (row,) = phase_rows(telemetry.registry)
+    p50, p95, p99 = row[6], row[7], row[8]
+    # Milliseconds, monotone, and within the sketch's accuracy bound.
+    assert 0.9 <= p50 <= p95 <= p99 <= 101.0
+    assert p50 == pytest.approx(50.0, rel=0.05)
+    assert p99 == pytest.approx(99.0, rel=0.05)
+
+
+def test_phase_rows_zero_count_timer_reports_zero_percentiles():
+    telemetry = Telemetry()
+    telemetry.registry.timer("engine.assign_batch", algorithm="KM")
+    (row,) = phase_rows(telemetry.registry)
+    assert (row[6], row[7], row[8]) == (0.0, 0.0, 0.0)
+
+
+def test_render_report_surfaces_percentile_columns(tmp_path):
+    telemetry = _fake_run_telemetry()
+    telemetry.export(tmp_path, manifest={"command": "compare"})
+    report = render_report(tmp_path)
+    for header in ("p50 ms", "p95 ms", "p99 ms"):
+        assert header in report
+
+
+def test_report_without_spans_still_renders_phase_tables(tmp_path):
+    """Graceful degradation: metrics without spans.jsonl (partial export)."""
+    import os
+
+    telemetry = _fake_run_telemetry()
+    telemetry.export(tmp_path, manifest={"command": "compare"})
+    os.remove(tmp_path / "spans.jsonl")
+    report = render_report(tmp_path)
+    assert "engine.assign_batch" in report
+    assert "Hotspots" not in report  # section dropped, not crashed
