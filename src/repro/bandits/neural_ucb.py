@@ -29,6 +29,7 @@ from repro.bandits.base import CapacityEstimator
 from repro.core.config import BanditConfig
 from repro.core.types import TrialTriple, triples_from_state, triples_to_state
 from repro.nn import MLP, Adam
+from repro.obs import audit as obs_audit
 from repro.obs import telemetry as obs
 from repro.state.protocol import (
     StateError,
@@ -80,6 +81,10 @@ class NNUCBBandit(CapacityEstimator):
         self._arm_row_tail = np.stack(
             [self._features(np.empty(0), c) for c in self.capacities]
         )
+        # Decision provenance: while an audit session is active, scoring
+        # stashes its (means, bonuses) split here so the chosen arm's
+        # components can be recorded without recomputing anything.
+        self.last_score_parts: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Scoring (Eq. 5)
@@ -164,6 +169,8 @@ class NNUCBBandit(CapacityEstimator):
                     for row in rows
                 ]
             )
+        if obs_audit.current() is not None:
+            self.last_score_parts = (means, bonuses)
         return means + self.config.alpha * bonuses
 
     # ------------------------------------------------------------------
@@ -189,10 +196,22 @@ class NNUCBBandit(CapacityEstimator):
         return self._pick(self.ucb_scores, context)
 
     def _pick(self, score_fn, context: np.ndarray) -> int:
+        return self._pick_explain(score_fn, context)[0]
+
+    def _pick_explain(self, score_fn, context: np.ndarray) -> tuple[int, str]:
+        """:meth:`_pick` plus the rule that fired (for decision audits).
+
+        Returns ``(arm_index, rule)`` with rule one of ``"coverage"``
+        (least-pulled arm under the global pull floor), ``"epsilon"``
+        (exploration draw), or ``"ucb"`` (score argmax with the
+        conservative tie-break).  Consumes exactly the same randomness as
+        before the split — audited runs stay bit-identical.
+        """
+        self.last_score_parts = None
         if self._arm_pulls.min() < self.config.min_arm_pulls:
-            return int(np.argmin(self._arm_pulls))
+            return int(np.argmin(self._arm_pulls)), "coverage"
         if self.config.epsilon > 0 and self._rng.random() < self.config.epsilon:
-            return int(self._rng.integers(self.capacities.size))
+            return int(self._rng.integers(self.capacities.size)), "epsilon"
         scores = score_fn(context)
         spread = float(scores.max() - scores.min())
         threshold = scores.max() - self.config.tie_tolerance * max(spread, 1e-12)
@@ -200,12 +219,33 @@ class NNUCBBandit(CapacityEstimator):
         # Smallest capacity *value* among the near-max arms — not the lowest
         # index, which is only the same thing when the grid is sorted
         # ascending (BanditConfig accepts arbitrary arm orderings).
-        return int(qualified[np.argmin(self.capacities[qualified])])
+        return int(qualified[np.argmin(self.capacities[qualified])]), "ucb"
+
+    def _note_choice(
+        self, broker_id: int | None, chosen: int, capacity: float, rule: str
+    ) -> None:
+        """Record a capacity choice into the active audit session (if any).
+
+        The mean/bonus split is whatever the scoring path stashed in
+        ``last_score_parts`` — absent for coverage/epsilon picks, which
+        never scored.  Always clears the stash so a later un-scored pick
+        cannot report a stale split.
+        """
+        parts, self.last_score_parts = self.last_score_parts, None
+        session = obs_audit.current()
+        if session is None or broker_id is None:
+            return
+        mean = bonus = None
+        if parts is not None:
+            means, bonuses = parts
+            mean, bonus = float(means[chosen]), float(bonuses[chosen])
+        session.note_capacity(broker_id, capacity, rule, mean=mean, bonus=bonus)
 
     def estimate(self, context: np.ndarray, broker_id: int | None = None) -> float:
         """Choose the capacity with maximum UCB; update ``D`` (line 12)."""
-        chosen = self.select_arm(context)
+        chosen, rule = self._pick_explain(self.ucb_scores, context)
         capacity = float(self.capacities[chosen])
+        self._note_choice(broker_id, chosen, capacity, rule)
         self._arm_pulls[chosen] += 1
         gradient = self.network.param_gradient(self._features(context, capacity))
         self._update_covariance(gradient)

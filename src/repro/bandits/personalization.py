@@ -34,6 +34,7 @@ from repro import perf
 from repro.bandits.base import CapacityEstimator
 from repro.bandits.neural_ucb import NNUCBBandit
 from repro.core.types import TrialTriple, triples_from_state, triples_to_state
+from repro.obs import audit as obs_audit
 from repro.state.protocol import expect, versioned
 
 #: Grid quantiles visited by each broker's first estimates (structured
@@ -122,6 +123,8 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
                     for row in rows
                 ]
             )
+        if obs_audit.current() is not None:
+            self.base.last_score_parts = (means, bonuses)
         return means + self.base.config.alpha * bonuses
 
     def _residual_correction(self, broker_id: int) -> np.ndarray:
@@ -151,12 +154,19 @@ class PersonalizedCapacityEstimator(CapacityEstimator):
             self._pull_count[broker_id] = pulls + 1
             quantile = EXPLORE_QUANTILES[pulls]
             chosen = int(round(quantile * (self.base.capacities.size - 1)))
+            rule = "personal-explore"
+            self.base.last_score_parts = None  # never scored on this path
         elif len(self._history.get(broker_id, ())) < self.min_triples:
             return self.base.estimate(context, broker_id)
         else:
-            chosen = self.base._pick(
+            chosen, rule = self.base._pick_explain(
                 lambda ctx: self.personalized_scores(ctx, broker_id), context
             )
+            if rule == "ucb":
+                rule = "personal-ucb"
+        self.base._note_choice(
+            broker_id, chosen, float(self.base.capacities[chosen]), rule
+        )
         self.base._arm_pulls[chosen] += 1
         self.base._update_covariance(
             self.base.network.param_gradient(

@@ -212,7 +212,7 @@ def check_day_accounting(
 # ----------------------------------------------------------------------
 # Solver-oracle spot checks (sampled — each runs a SciPy solve)
 # ----------------------------------------------------------------------
-def _oracle_optimum(weights: np.ndarray) -> float:
+def oracle_optimum(weights: np.ndarray) -> float:
     """Optimal *partial*-matching total weight, via the SciPy oracle.
 
     Matches :func:`repro.matching.solve_assignment`'s maximization
@@ -221,6 +221,9 @@ def _oracle_optimum(weights: np.ndarray) -> float:
     a negative edge.  (Simply dropping negative edges from a forced full
     matching would *not* be equivalent — the full optimum may route the
     positive edges differently.)
+
+    Public: the quality telemetry's online regret proxy
+    (:mod:`repro.obs.quality`) reuses this as its unconstrained-KM oracle.
     """
     from scipy.optimize import linear_sum_assignment
 
@@ -230,6 +233,10 @@ def _oracle_optimum(weights: np.ndarray) -> float:
     padded = np.hstack([weights, np.zeros((n_rows, n_rows))])
     rows, cols = linear_sum_assignment(padded, maximize=True)
     return float(padded[rows, cols].sum())
+
+
+#: Backwards-compatible alias (pre-dates the public export).
+_oracle_optimum = oracle_optimum
 
 
 def check_km_optimality(
@@ -264,7 +271,7 @@ def check_km_optimality(
             f"reported total {match.total_weight!r} != recomputed {recomputed!r}",
         )
     if n_rows and n_cols:
-        optimal = _oracle_optimum(weights)
+        optimal = oracle_optimum(weights)
         if match.total_weight < optimal - atol:
             bad(
                 "solver.suboptimal",
@@ -294,8 +301,8 @@ def check_cbs_preservation(
     if utilities.size == 0:
         return []
 
-    full = _oracle_optimum(utilities)
-    pruned = _oracle_optimum(utilities[:, kept_columns])
+    full = oracle_optimum(utilities)
+    pruned = oracle_optimum(utilities[:, kept_columns])
     if abs(full - pruned) > _tolerance(utilities):
         return [
             Violation(

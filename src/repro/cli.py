@@ -86,6 +86,19 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
         help="collect metrics/spans during the run and export them to DIR "
         "(view with `repro report DIR`)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="record per-assignment decision provenance under DIR/audit/ "
+        "(requires --telemetry; inspect with `repro-lacb explain DIR`)",
+    )
+    parser.add_argument(
+        "--audit-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="audit every Nth batch by global index (default 1 = every batch)",
+    )
 
 
 def _add_check_argument(parser: argparse.ArgumentParser) -> None:
@@ -303,6 +316,22 @@ def _cmd_report(args: argparse.Namespace) -> None:
             len(spans),
             args.flamegraph,
         )
+
+
+def _cmd_explain(args: argparse.Namespace) -> None:
+    from repro.obs.audit import audit_dir_for, read_audit
+    from repro.obs.report import render_explain
+
+    view = read_audit(audit_dir_for(args.dir))
+    print(
+        render_explain(
+            view,
+            day=args.day,
+            request=args.request,
+            broker=args.broker,
+            limit=args.limit,
+        )
+    )
 
 
 def _cmd_watch(args: argparse.Namespace) -> None:
@@ -535,6 +564,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.set_defaults(func=_cmd_watch)
 
+    explain = sub.add_parser(
+        "explain",
+        help="reconstruct decision paths from a --telemetry --audit run",
+    )
+    explain.add_argument("dir", help="telemetry directory of the audited run")
+    explain.add_argument("--day", type=int, default=None, help="only this day")
+    explain.add_argument(
+        "--request", type=int, default=None, help="only this request id"
+    )
+    explain.add_argument(
+        "--broker", type=int, default=None, help="only matches to this broker"
+    )
+    explain.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="maximum decisions rendered (default 10; 0 = no limit)",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
     baseline = sub.add_parser(
         "baseline",
         help="benchmark trajectory: append BENCH_*.json artifacts and/or "
@@ -640,6 +689,11 @@ def _run_with_telemetry(args: argparse.Namespace, directory: str) -> None:
     # runs executed directly under this telemetry flush to "main".
     telemetry.stream_dir = stream_dir_for(directory)
     telemetry.stream = TelemetryStreamWriter(telemetry.stream_dir, segment="main")
+    if getattr(args, "audit", False):
+        from repro.obs.audit import AuditConfig, audit_dir_for
+
+        telemetry.audit = AuditConfig(sample_every=args.audit_sample)
+        telemetry.audit_dir = audit_dir_for(directory)
     start = time.perf_counter()
     try:
         args.func(args)
@@ -671,6 +725,10 @@ def main(argv: list[str] | None = None) -> None:
         args.values = [int(v) for v in args.values]
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         parser.error("--resume requires --checkpoint DIR")
+    if getattr(args, "audit", False) and not getattr(args, "telemetry", None):
+        parser.error("--audit requires --telemetry DIR")
+    if getattr(args, "audit_sample", 1) < 1:
+        parser.error("--audit-sample must be >= 1")
     if getattr(args, "check", False):
         _run_with_checks(args)
     else:

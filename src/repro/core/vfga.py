@@ -28,6 +28,7 @@ from repro.core.selection import select_candidate_brokers
 from repro.core.types import AssignedPair, Assignment
 from repro.core.value_function import CapacityAwareValueFunction
 from repro.matching import solve_assignment
+from repro.obs import audit as obs_audit
 from repro.obs import telemetry as obs
 from repro.obs.metrics import RATIO_BOUNDARIES
 from repro.state.protocol import (
@@ -195,6 +196,14 @@ class ValueFunctionGuidedAssigner:
         available = self.available_brokers()
         if available.size == 0:
             return assignment
+        # Decision provenance (repro.obs.audit): pure observation — no RNG,
+        # no result change; `trail` is None unless an audit session is
+        # active *and* this batch is sampled.
+        session = obs_audit.current()
+        trail = session.begin_batch(day, batch) if session is not None else None
+        if trail is not None:
+            trail.requests = int(request_ids.size)
+            trail.available = int(available.size)
 
         candidate_utilities = utilities[:, available]
         precbs_utilities = candidate_utilities
@@ -213,6 +222,9 @@ class ValueFunctionGuidedAssigner:
             obs.observe(
                 "cbs.pruned_broker_ratio_hist", pruned_ratio, boundaries=RATIO_BOUNDARIES
             )
+            if trail is not None:
+                trail.kept = int(available.size)
+                trail.pruned_ratio = float(pruned_ratio)
 
         time_fraction = self._time_fraction(batch)
         next_fraction = self._time_fraction(batch + 1)
@@ -230,11 +242,34 @@ class ValueFunctionGuidedAssigner:
         # batches_per_day), TD updates are buffered and replayed at end_day
         # on the frozen denominator.
         defer_td = self.batches_per_day is None and self._frozen_batches is None
+        alt_orders = None
+        if trail is not None and match.pairs:
+            # One stable argsort for the whole batch's matched rows — the
+            # per-decision runner-up walk then only reads precomputed order.
+            top_alts = session.config.top_alternatives
+            if top_alts > 0 and refined.shape[1] > 1:
+                matched_rows = [row for row, _col in match.pairs]
+                alt_orders = np.argsort(-refined[matched_rows], axis=1, kind="stable")
         with obs.span("vfga.td_update"):
-            for row, col in match.pairs:
+            for pair_index, (row, col) in enumerate(match.pairs):
                 broker = int(available[col])
                 raw_utility = float(utilities[row, broker])
                 residual = float(self.capacities[broker] - self.workloads[broker])
+                if trail is not None:
+                    trail.add_decision(
+                        int(request_ids[row]),
+                        broker,
+                        raw_utility,
+                        float(refined[row, col]),
+                        residual,
+                        float(self.capacities[broker]),
+                        int(self.workloads[broker]),
+                        self._alternatives(
+                            None if alt_orders is None else alt_orders[pair_index],
+                            row, col, refined, candidate_utilities, available,
+                            session.config.top_alternatives,
+                        ),
+                    )
                 self.workloads[broker] += 1
                 if self.config.use_value_function:
                     if defer_td:
@@ -248,7 +283,41 @@ class ValueFunctionGuidedAssigner:
                 )
         if self.config.use_value_function:
             obs.add("vfga.td_updates", len(match.pairs))
+        if trail is not None:
+            session.commit_batch(trail)
         return assignment
+
+    @staticmethod
+    def _alternatives(
+        order_row: np.ndarray | None,
+        row: int,
+        col: int,
+        refined: np.ndarray,
+        raw: np.ndarray,
+        available: np.ndarray,
+        top: int,
+    ) -> list[tuple[int, float, float]]:
+        """The realized edge's runners-up: top brokers by refined value.
+
+        Deterministic (stable sort, index tie-break) and allocation-light —
+        only runs for audited pairs, and ``order_row`` comes from one
+        batch-level argsort rather than a per-decision sort.  Returns
+        ``(broker id, refined, raw)`` triples in descending refined order,
+        the chosen column excluded.
+        """
+        if order_row is None or top <= 0:
+            return []
+        alternatives: list[tuple[int, float, float]] = []
+        for j in order_row:
+            j = int(j)
+            if j == col:
+                continue
+            alternatives.append(
+                (int(available[j]), float(refined[row, j]), float(raw[row, j]))
+            )
+            if len(alternatives) >= top:
+                break
+        return alternatives
 
     #: Days of history required before the capacity-hit frequency ``f_b``
     #: is trusted (after one day it is degenerately 0 or 1).

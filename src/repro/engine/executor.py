@@ -62,7 +62,11 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
 
 def execute_spec_observed(
-    spec: RunSpec, stream_dir: str | None = None, segment: str | None = None
+    spec: RunSpec,
+    stream_dir: str | None = None,
+    segment: str | None = None,
+    audit_dir: str | None = None,
+    audit=None,
 ) -> tuple[RunResult, dict]:
     """Execute one spec under a fresh telemetry; return (result, payload).
 
@@ -77,6 +81,11 @@ def execute_spec_observed(
             so progress is observable — and recoverable — even if this
             worker dies mid-run.
         segment: segment stem; defaults to the spec's run id.
+        audit_dir: when set (with ``audit``), the run writes decision
+            provenance into its own segment of this directory
+            (:mod:`repro.obs.audit`) — same naming as stream segments, so
+            segment order is spec order under any ``jobs`` value.
+        audit: the :class:`~repro.obs.audit.AuditConfig`, or ``None`` (off).
     """
     telemetry = Telemetry()
     if stream_dir is not None:
@@ -85,15 +94,21 @@ def execute_spec_observed(
         telemetry.stream = TelemetryStreamWriter(
             stream_dir, segment=segment or spec.run_id()
         )
+    if audit is not None and audit_dir is not None:
+        telemetry.audit = audit
+        telemetry.audit_dir = audit_dir
+        telemetry.audit_segment = segment or spec.run_id()
     with use_telemetry(telemetry):
         result = spec.run(platform=_cached_platform(spec))
     return result, telemetry.payload()
 
 
 def _execute_observed_task(task: tuple) -> tuple[RunResult, dict]:
-    """Pool-picklable wrapper: (spec, stream_dir, segment) → observed run."""
-    spec, stream_dir, segment = task
-    return execute_spec_observed(spec, stream_dir=stream_dir, segment=segment)
+    """Pool-picklable wrapper: one (spec, …) task → observed run."""
+    spec, stream_dir, segment, audit_dir, audit = task
+    return execute_spec_observed(
+        spec, stream_dir=stream_dir, segment=segment, audit_dir=audit_dir, audit=audit
+    )
 
 
 def run_many(
@@ -122,11 +137,14 @@ def run_many(
     if jobs <= 0:
         jobs = os.cpu_count() or 1
 
-    # Per-spec stream segments: the zero-padded index prefix makes segment
-    # name order equal spec order, which is the merge order readers use.
+    # Per-spec stream/audit segments: the zero-padded index prefix makes
+    # segment name order equal spec order, which is the merge order readers
+    # use.
     stream_dir = telemetry.stream_dir if telemetry is not None else None
+    audit_dir = telemetry.audit_dir if telemetry is not None else None
+    audit = telemetry.audit if telemetry is not None else None
     tasks = [
-        (spec, stream_dir, segment_name(index, spec.run_id()))
+        (spec, stream_dir, segment_name(index, spec.run_id()), audit_dir, audit)
         for index, spec in enumerate(specs)
     ]
 

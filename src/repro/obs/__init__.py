@@ -21,9 +21,19 @@ Layers, each usable on its own:
 - :mod:`~repro.obs.profile` — the phase profiler: deterministic per-day ×
   per-phase wall/CPU attribution, self-time hotspots and collapsed-stack
   flamegraph export over the span stream;
+- :mod:`~repro.obs.quality` — online assignment-quality telemetry:
+  capacity-estimation error vs the simulator's ground truth, overload
+  rate, workload Gini, and a sampled unconstrained-KM regret proxy;
+- :mod:`~repro.obs.alerts` — deterministic drift detection (rolling
+  z-score + CUSUM) over the day-boundary quality series, emitting
+  structured :class:`Alert` records into the stream;
+- :mod:`~repro.obs.audit` — decision provenance: per-assignment records
+  (bandit arm + rule, CBS candidate set, Eq. 15 refinement, residual
+  quota, runners-up) reconstructable with ``repro-lacb explain``;
 - :mod:`~repro.obs.hook` — :class:`TelemetryHook`, bridging
-  :mod:`repro.engine` lifecycle events into metrics, spans and stream
-  flushes (attached automatically by the engine while telemetry is active);
+  :mod:`repro.engine` lifecycle events into metrics, spans, quality
+  gauges, alerts, audit records and stream flushes (attached
+  automatically by the engine while telemetry is active);
 - :mod:`~repro.obs.manifest` — run manifests (spec, seeds, git SHA,
   platform, versions, wall-clock, telemetry lineage) written next to
   exported results;
@@ -37,6 +47,8 @@ result-formatting helpers from :mod:`repro.experiments`, which sits above
 this layer.
 """
 
+from repro.obs.alerts import Alert, AlertMonitor, DriftDetector
+from repro.obs.audit import AuditConfig, AuditView, DecisionAudit, read_audit
 from repro.obs.hook import TelemetryHook
 from repro.obs.logging import get_logger, setup_cli_logging
 from repro.obs.manifest import build_manifest, git_sha, repro_version, write_manifest
@@ -50,18 +62,26 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
+from repro.obs.quality import QualityMonitor
 from repro.obs.quantiles import REPORT_QUANTILES, QuantileSketch
 from repro.obs.stream import TelemetryStreamWriter, read_stream
 from repro.obs.telemetry import Telemetry, current, disable, enable, enabled, use
 from repro.obs.tracing import SpanRecord, Tracer
 
 __all__ = [
+    "Alert",
+    "AlertMonitor",
+    "AuditConfig",
+    "AuditView",
     "COUNT_BOUNDARIES",
     "Counter",
     "DURATION_BOUNDARIES",
+    "DecisionAudit",
+    "DriftDetector",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QualityMonitor",
     "QuantileSketch",
     "RATIO_BOUNDARIES",
     "REPORT_QUANTILES",
@@ -78,6 +98,7 @@ __all__ = [
     "enabled",
     "get_logger",
     "git_sha",
+    "read_audit",
     "read_stream",
     "repro_version",
     "setup_cli_logging",

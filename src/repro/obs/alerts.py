@@ -1,0 +1,257 @@
+"""Drift detection over day-boundary quality series, with structured alerts.
+
+Broker churn, drifting capacity-response curves and demand shocks
+(ROADMAP scenario (d)) show up as *changes in the quality gauges* long
+before they show up in anyone's eyeballed tables.  This module watches the
+per-day quality fields the :class:`~repro.obs.hook.TelemetryHook` computes
+(day utility, overload rate, workload Gini, capacity MAE) with two
+complementary deterministic detectors per metric:
+
+- **rolling z-score** — the newest value against the mean/std of the
+  trailing window; catches *step changes* (a demand shock, a broker-pool
+  cut) the day they happen;
+- **CUSUM** — one-sided cumulative sums of standardized deviations from a
+  *frozen* reference estimated over the first days of the regime; catches
+  *slow drift* that never trips a single-day z-score because the rolling
+  window drifts along with it.
+
+Both consume only the day series — no RNG, no wall clock — so alert days
+are a pure function of the run's results: a seeded run alerts on the same
+days every time, and ``jobs=N`` changes nothing.  After any alert the
+detector re-baselines on the new regime (one alert per shift, not one per
+day).  Raised alerts are appended to the live stream records (delta
+semantics, like spans) and surfaced by ``report`` and ``watch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+#: Metrics monitored by default, with per-metric noise floors: rates and
+#: Gini live in [0, 1] where tiny absolute wiggles are noise, while
+#: utility and MAE scale with the instance so they rely on the relative
+#: floor instead.
+DEFAULT_MONITORS: tuple[tuple[str, dict], ...] = (
+    ("day_utility", {}),
+    ("overload_rate", {"min_std": 0.02}),
+    ("workload_gini", {"min_std": 0.02}),
+    ("capacity_mae", {"min_std": 0.5}),
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured drift alert, as streamed and rendered.
+
+    Attributes:
+        day: the day whose value tripped the detector.
+        metric: the monitored quality field.
+        detector: ``"zscore"`` (step change) or ``"cusum"`` (slow drift).
+        value: the day's observed value.
+        score: the detector statistic that crossed (z, or the CUSUM sum).
+        threshold: the configured trip level for that statistic.
+        baseline: the baseline mean the value was judged against.
+        algorithm: run label, when known.
+    """
+
+    day: int
+    metric: str
+    detector: str
+    value: float
+    score: float
+    threshold: float
+    baseline: float
+    algorithm: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "day": int(self.day),
+            "metric": self.metric,
+            "detector": self.detector,
+            "value": float(self.value),
+            "score": float(self.score),
+            "threshold": float(self.threshold),
+            "baseline": float(self.baseline),
+            "algorithm": self.algorithm,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Alert":
+        return cls(
+            day=int(payload["day"]),
+            metric=str(payload["metric"]),
+            detector=str(payload["detector"]),
+            value=float(payload["value"]),
+            score=float(payload["score"]),
+            threshold=float(payload["threshold"]),
+            baseline=float(payload["baseline"]),
+            algorithm=payload.get("algorithm"),
+        )
+
+    def describe(self) -> str:
+        """One human line, e.g. for the watch/report alert tables."""
+        kind = "step change" if self.detector == "zscore" else "drift"
+        return (
+            f"day {self.day}: {self.metric} {kind} — value {self.value:.4f} "
+            f"vs baseline {self.baseline:.4f} "
+            f"({self.detector} {self.score:.2f} >= {self.threshold:.2f})"
+        )
+
+
+class DriftDetector:
+    """Rolling z-score + frozen-reference CUSUM over one metric's day series.
+
+    Args:
+        metric: name stamped onto raised alerts.
+        window: trailing days feeding the rolling z-score baseline.
+        min_history: days of history required before either detector arms
+            (and the length of the frozen CUSUM reference).  The default
+            covers one full week: the synthetic demand curve carries
+            ``sin(2*pi*d/7)`` seasonality, and a reference frozen on a
+            partial cycle reads the seasonal swing itself as drift.
+        z_threshold: |z| trip level for the step-change detector.
+        cusum_k: CUSUM slack per day, in reference-std units (drift smaller
+            than ``k`` sigma/day accumulates nothing).
+        cusum_h: CUSUM trip level, in reference-std units.
+        min_std: absolute noise floor on every std estimate.
+        rel_floor: relative noise floor — std is never taken below
+            ``rel_floor * |baseline mean|``, so metrics with large scales
+            do not alert on proportionally tiny wiggles.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        window: int = 7,
+        min_history: int = 7,
+        z_threshold: float = 4.0,
+        cusum_k: float = 0.5,
+        cusum_h: float = 6.0,
+        min_std: float = 1e-6,
+        rel_floor: float = 0.02,
+    ) -> None:
+        if window < 2 or min_history < 2:
+            raise ValueError("window and min_history must be >= 2")
+        self.metric = metric
+        self.window = window
+        self.min_history = min_history
+        self.z_threshold = z_threshold
+        self.cusum_k = cusum_k
+        self.cusum_h = cusum_h
+        self.min_std = min_std
+        self.rel_floor = rel_floor
+        self._history: list[float] = []
+        self._reference: tuple[float, float] | None = None
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def _floor(self, mean: float, std: float) -> float:
+        return max(std, self.min_std, self.rel_floor * abs(mean))
+
+    def _reset(self) -> None:
+        """Re-baseline after an alert: the new regime is the new normal."""
+        self._history.clear()
+        self._reference = None
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def observe(self, day: int, value: float, algorithm: str | None = None) -> list[Alert]:
+        """Feed one day's value; returns the alerts it raised (usually none)."""
+        value = float(value)
+        alerts: list[Alert] = []
+        history = self._history
+        if len(history) >= self.min_history:
+            if self._reference is None:
+                # Freeze the CUSUM reference on the first armed day; the
+                # rolling z-baseline keeps moving, the reference does not.
+                mean = float(np.mean(history))
+                std = self._floor(mean, float(np.std(history)))
+                self._reference = (mean, std)
+
+            recent = history[-self.window :]
+            mean = float(np.mean(recent))
+            std = self._floor(mean, float(np.std(recent)))
+            z = (value - mean) / std
+            if abs(z) >= self.z_threshold:
+                alerts.append(
+                    Alert(
+                        day=day,
+                        metric=self.metric,
+                        detector="zscore",
+                        value=value,
+                        score=z,
+                        threshold=self.z_threshold,
+                        baseline=mean,
+                        algorithm=algorithm,
+                    )
+                )
+                self._reset()
+                self._history.append(value)
+                return alerts
+
+            ref_mean, ref_std = self._reference
+            residual = (value - ref_mean) / ref_std
+            self._pos = max(0.0, self._pos + residual - self.cusum_k)
+            self._neg = max(0.0, self._neg - residual - self.cusum_k)
+            score = max(self._pos, self._neg)
+            if score >= self.cusum_h:
+                alerts.append(
+                    Alert(
+                        day=day,
+                        metric=self.metric,
+                        detector="cusum",
+                        value=value,
+                        score=score,
+                        threshold=self.cusum_h,
+                        baseline=ref_mean,
+                        algorithm=algorithm,
+                    )
+                )
+                self._reset()
+                self._history.append(value)
+                return alerts
+
+        history.append(value)
+        # The rolling window only ever looks back `window` days; anything
+        # older is dead weight on a many-day run.
+        if len(history) > self.window:
+            del history[: len(history) - self.window]
+        return alerts
+
+
+class AlertMonitor:
+    """One run's detectors over the day-boundary quality fields.
+
+    Detector windows live in process memory: a resumed run re-learns its
+    baseline over its first ``min_history`` days instead of inheriting the
+    killed run's window (documented in docs/observability.md).  Alerts
+    raised *before* a kill are already durable in the stream.
+    """
+
+    def __init__(
+        self,
+        monitors: tuple[tuple[str, dict], ...] = DEFAULT_MONITORS,
+        **common,
+    ) -> None:
+        self._detectors = {
+            metric: DriftDetector(metric, **{**common, **overrides})
+            for metric, overrides in monitors
+        }
+        #: Every alert raised over the run, in raise order.
+        self.alerts: list[Alert] = []
+
+    def observe_day(
+        self, day: int, fields: Mapping, algorithm: str | None = None
+    ) -> list[Alert]:
+        """Feed one day's quality fields; returns the newly raised alerts."""
+        raised: list[Alert] = []
+        for metric, detector in self._detectors.items():
+            value = fields.get(metric)
+            if value is None:
+                continue
+            raised.extend(detector.observe(day, float(value), algorithm=algorithm))
+        self.alerts.extend(raised)
+        return raised

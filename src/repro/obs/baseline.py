@@ -72,6 +72,9 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
     "checkpoint_overhead": (
         MetricSpec("overhead_ratio", higher_is_better=False, rel_tol=0.0, abs_tol=0.05),
     ),
+    "decision_audit": (
+        MetricSpec("overhead_ratio", higher_is_better=False, rel_tol=0.0, abs_tol=0.05),
+    ),
 }
 
 

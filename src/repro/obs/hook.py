@@ -30,7 +30,10 @@ import numpy as np
 
 from repro.engine.hooks import RunHook
 from repro.engine.loop import BatchAssignedEvent, DayEndEvent, DayStartEvent, RunContext
+from repro.obs.alerts import AlertMonitor
+from repro.obs.audit import AuditWriter, DecisionAudit
 from repro.obs.metrics import COUNT_BOUNDARIES
+from repro.obs.quality import QualityMonitor
 from repro.obs.telemetry import Telemetry
 
 #: Histogram boundaries for per-day realized utility (spans tiny test
@@ -93,6 +96,22 @@ class TelemetryHook(RunHook):
         self._requests_seen = 0
         self._utility_total = 0.0
         self._last_progress: dict = dict(self._run_meta, day=-1)
+        # Quality telemetry + drift alerting (see repro.obs.quality/alerts).
+        self._quality = QualityMonitor(telemetry, context)
+        self._alerts = AlertMonitor()
+        self._alerts_sent = 0
+        # Decision provenance: a fresh collector per run, but one writer
+        # per telemetry — sequential runs into one telemetry directory keep
+        # appending to the same segment with increasing seq (a fresh writer
+        # would delete the previous run's records at its first append).
+        if telemetry.audit is not None and telemetry.audit_dir is not None:
+            if telemetry.audit_writer is None:
+                telemetry.audit_writer = AuditWriter(
+                    telemetry.audit_dir, segment=telemetry.audit_segment
+                )
+            telemetry.audit_session = DecisionAudit(
+                telemetry.audit, context.batches_per_day, context.matcher.name
+            )
 
     def on_day_start(self, event: DayStartEvent) -> None:
         self._begin_timer.observe(event.matcher_seconds)
@@ -116,6 +135,7 @@ class TelemetryHook(RunHook):
         self._assignments.inc(len(event.assignment))
         self._batch_requests.observe(event.request_ids.size)
         self._requests_seen += int(event.request_ids.size)
+        self._quality.on_batch(event)
 
     def on_day_end(self, event: DayEndEvent) -> None:
         self._end_timer.observe(event.matcher_seconds)
@@ -132,23 +152,55 @@ class TelemetryHook(RunHook):
         for workload in workloads:
             self._broker_workload.observe(float(workload))
         self._served.inc(int((workloads > 0).sum()))
-        stream = self.telemetry.stream
+        telemetry = self.telemetry
+        quality = self._quality.on_day_end(event)
+        drift_fields = dict(
+            quality, day_utility=float(outcome.total_realized_utility)
+        )
+        raised = self._alerts.observe_day(
+            event.day, drift_fields, algorithm=self._run_meta["algorithm"]
+        )
+        if raised:
+            telemetry.add("alerts.raised", len(raised))
+        session = telemetry.audit_session
+        if session is not None and telemetry.audit_writer is not None:
+            record = session.day_record(event.day)
+            if record is not None:
+                telemetry.audit_writer.append(record)
+                telemetry.add("audit.days")
+                telemetry.add(
+                    "audit.decisions",
+                    sum(len(b["decisions"]) for b in record["batches"]),
+                )
+        stream = telemetry.stream
         if stream is not None:
-            self._last_progress = self._progress(event, workloads)
-            stream.maybe_flush(
-                self.telemetry, day=event.day, progress=self._last_progress
-            )
+            self._last_progress = dict(self._progress(event, workloads), **quality)
+            # Alerts stream as deltas (like spans): only advance the sent
+            # cursor when a flush actually happened — skipped days re-offer
+            # their alerts at the next boundary.
+            pending = [a.to_dict() for a in self._alerts.alerts[self._alerts_sent :]]
+            if stream.maybe_flush(
+                telemetry,
+                day=event.day,
+                progress=self._last_progress,
+                alerts=pending,
+            ):
+                self._alerts_sent = len(self._alerts.alerts)
 
     def on_run_end(self, context: RunContext) -> None:
-        stream = self.telemetry.stream
+        telemetry = self.telemetry
+        stream = telemetry.stream
         if stream is not None:
             stream.flush(
-                self.telemetry,
+                telemetry,
                 day=self._last_progress.get("day", -1),
                 progress=self._last_progress,
                 final=True,
+                alerts=[a.to_dict() for a in self._alerts.alerts[self._alerts_sent :]],
             )
-        self.telemetry.set_run_label(self._previous_label)
+            self._alerts_sent = len(self._alerts.alerts)
+        telemetry.audit_session = None
+        telemetry.set_run_label(self._previous_label)
 
     # ------------------------------------------------------------------
     # Streaming progress

@@ -102,7 +102,7 @@ def describe_telemetry(telemetry) -> dict | None:
     from repro.obs.stream import read_stream
 
     view = read_stream(stream_dir)
-    return {
+    described = {
         "stream_dir": stream_dir,
         "complete": view.complete,
         "segments": [
@@ -115,6 +115,20 @@ def describe_telemetry(telemetry) -> dict | None:
             for segment in view.segments
         ],
     }
+    audit_dir = getattr(telemetry, "audit_dir", None)
+    if audit_dir and getattr(telemetry, "audit", None) is not None:
+        from repro.obs.audit import read_audit
+
+        audit_view = read_audit(audit_dir)
+        described["audit"] = {
+            "audit_dir": audit_dir,
+            "sample_every": telemetry.audit.sample_every,
+            "segments": [
+                {"segment": segment.segment, "days": len(segment.records)}
+                for segment in audit_view.segments
+            ],
+        }
+    return described
 
 
 def build_manifest(

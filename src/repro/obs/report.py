@@ -214,6 +214,78 @@ def progress_rows(directory) -> list[tuple]:
     return rows
 
 
+def _fmt_opt(progress: dict, key: str, fmt: str) -> str:
+    """Format an optional progress field; absent renders as ``-``.
+
+    Older stream files (and matchers without the relevant model) simply
+    lack some fields — rendering ``-`` keeps "not measured" distinguishable
+    from a measured 0.00.
+    """
+    value = progress.get(key)
+    return fmt.format(value) if value is not None else "-"
+
+
+#: Quality gauges rendered per algorithm: (metric name, header, format).
+QUALITY_GAUGES = (
+    ("quality.capacity_mae", "cap MAE", "{:.2f}"),
+    ("quality.capacity_bias", "cap bias", "{:+.2f}"),
+    ("quality.overload_rate", "overload", "{:.1%}"),
+    ("quality.workload_gini", "gini", "{:.3f}"),
+    ("quality.regret_ratio", "regret", "{:.2%}"),
+)
+
+QUALITY_HEADERS = ["algorithm"] + [h for _n, h, _f in QUALITY_GAUGES] + ["regret batches"]
+
+
+def quality_rows(registry: MetricsRegistry) -> list[tuple]:
+    """Per-algorithm assignment-quality rows from the quality gauges.
+
+    Gauges hold each run's *last-day* value (capacity MAE, overload rate,
+    Gini); the regret ratio accumulates over every sampled batch of the
+    run.  Metrics a matcher cannot produce (no capacity model, no SciPy
+    oracle) render as ``-``, never as a fake zero.
+    """
+    algorithms: dict[str, dict[str, float]] = {}
+    for name, _header, _fmt in QUALITY_GAUGES:
+        for labels, metric in registry.find(name):
+            algorithms.setdefault(labels.get("algorithm", ""), {})[name] = metric.value
+    if not algorithms:
+        return []
+    batches = {
+        labels.get("algorithm", ""): int(metric.value)
+        for labels, metric in registry.find("quality.regret_batches")
+    }
+    rows = []
+    for algorithm in sorted(algorithms):
+        values = algorithms[algorithm]
+        row: list = [algorithm]
+        for name, _header, fmt in QUALITY_GAUGES:
+            value = values.get(name)
+            row.append(fmt.format(value) if value is not None else "-")
+        row.append(batches.get(algorithm, 0))
+        rows.append(tuple(row))
+    return rows
+
+
+ALERT_HEADERS = ["day", "algorithm", "metric", "detector", "value", "baseline", "trip"]
+
+
+def alert_rows(alerts: list[dict]) -> list[tuple]:
+    """Render streamed alert dicts as table rows (see repro.obs.alerts)."""
+    return [
+        (
+            entry.get("day", "?"),
+            entry.get("algorithm") or "-",
+            entry.get("metric", "?"),
+            entry.get("detector", "?"),
+            f"{entry.get('value', 0.0):.4f}",
+            f"{entry.get('baseline', 0.0):.4f}",
+            f"{entry.get('score', 0.0):.2f} >= {entry.get('threshold', 0.0):.2f}",
+        )
+        for entry in alerts
+    ]
+
+
 def render_watch(directory) -> tuple[str, bool]:
     """One frame of the live view over a telemetry directory's stream.
 
@@ -246,17 +318,31 @@ def render_watch(directory) -> tuple[str, bool]:
                     f"{progress['assign_p50'] * 1e3:.2f}",
                     f"{progress['assign_p95'] * 1e3:.2f}",
                     f"{progress['assign_p99'] * 1e3:.2f}",
-                    f"{progress.get('utilization', 0.0):.1%}",
-                    f"{progress.get('workload_dispersion', 0.0):.2f}",
+                    _fmt_opt(progress, "utilization", "{:.1%}"),
+                    _fmt_opt(progress, "workload_dispersion", "{:.2f}"),
+                    _fmt_opt(progress, "overload_rate", "{:.1%}"),
+                    _fmt_opt(progress, "capacity_mae", "{:.2f}"),
+                    _fmt_opt(progress, "regret_ratio", "{:.2%}"),
                 )
             )
     if latency:
         lines.append("")
         lines.append(
             format_table(
-                ["algorithm", "p50 ms", "p95 ms", "p99 ms", "utilization", "dispersion"],
+                ["algorithm", "p50 ms", "p95 ms", "p99 ms", "utilization",
+                 "dispersion", "overload", "cap MAE", "regret"],
                 latency,
                 title="assign_batch latency (sketch percentiles) and day quality",
+            )
+        )
+    streamed_alerts = view.alerts()
+    if streamed_alerts:
+        lines.append("")
+        lines.append(
+            format_table(
+                ALERT_HEADERS,
+                alert_rows(streamed_alerts),
+                title="Drift alerts",
             )
         )
     if view.complete:
@@ -307,6 +393,17 @@ def render_report(directory) -> str:
         )
         lines.append("")
 
+    quality = quality_rows(registry)
+    if quality:
+        lines.append(
+            format_table(
+                QUALITY_HEADERS,
+                quality,
+                title="Assignment quality (last-day gauges; regret over sampled batches)",
+            )
+        )
+        lines.append("")
+
     rows = phase_rows(registry)
     if rows:
         lines.append(
@@ -348,4 +445,114 @@ def render_report(directory) -> str:
                 ["counter", "algorithm", "value"], counters, title="Engine counters"
             )
         )
+
+    from repro.obs.stream import read_stream, stream_dir_for
+
+    streamed_alerts = read_stream(stream_dir_for(directory)).alerts()
+    if streamed_alerts:
+        lines.append("")
+        lines.append(
+            format_table(ALERT_HEADERS, alert_rows(streamed_alerts), title="Drift alerts")
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Decision-path reconstruction (`repro-lacb explain`)
+# ----------------------------------------------------------------------
+def _capacity_notes(record: dict) -> dict[int, tuple]:
+    """Per-broker (capacity, rule, mean, bonus) of one audit day record."""
+    section = record.get("capacity")
+    if not section:
+        return {}
+    return {
+        broker: (capacity, rule, mean, bonus)
+        for broker, capacity, rule, mean, bonus in zip(
+            section["broker"],
+            section["capacity"],
+            section["rule"],
+            section["mean"],
+            section["bonus"],
+        )
+    }
+
+
+def render_explain(
+    view,
+    day: int | None = None,
+    request: int | None = None,
+    broker: int | None = None,
+    limit: int = 10,
+) -> str:
+    """Reconstruct decision paths from an :class:`~repro.obs.audit.AuditView`.
+
+    For every matching audited decision, shows the full chain the paper's
+    pipeline walked: the bandit's capacity arm and selection rule (Alg. 1),
+    the CBS candidate set and prune ratio (Alg. 3), the raw vs Eq. 15
+    value-refined utility of the realized KM edge, the broker's residual
+    quota at match time, and the runner-up candidates by refined score.
+    """
+    records = view.records()
+    if not records:
+        return (
+            f"no audit records under {view.directory} — was the run executed "
+            "with --telemetry DIR --audit?"
+        )
+    total = sum(
+        len(batch.get("decisions", ()))
+        for record in records
+        for batch in record.get("batches", ())
+    )
+    decisions = list(view.decisions(day=day, request=request, broker=broker))
+    lines = [
+        f"decision audit: {len(records)} day record(s), {total} decision(s), "
+        f"{len(decisions)} matching the filters"
+    ]
+    shown = decisions if limit <= 0 else decisions[:limit]
+    for record, batch, decision in shown:
+        notes = _capacity_notes(record)
+        lines.append("")
+        lines.append(
+            f"day {record['day']} batch {batch['batch']} "
+            f"[{record.get('algorithm', '?')}]: request {decision['request']} "
+            f"-> broker {decision['broker']}"
+        )
+        lines.append(
+            f"  utility: raw {decision['raw']:.4f} -> refined "
+            f"{decision['refined']:.4f} (Eq. 15 delta {decision['delta']:+.4f})"
+        )
+        lines.append(
+            f"  quota: residual {decision['residual']:g} of capacity "
+            f"{decision['capacity']:g} (workload {decision['workload']} "
+            "before the match)"
+        )
+        note = notes.get(decision["broker"])
+        if note is not None:
+            capacity, rule, mean, bonus = note
+            parts = f"capacity arm {capacity:g} via {rule}"
+            if mean is not None and bonus is not None:
+                parts += f" (mean {mean:.4f}, bonus {bonus:.4f})"
+            lines.append(f"  bandit: {parts}")
+        available = batch.get("available")
+        kept = batch.get("kept")
+        if kept is not None and batch.get("pruned_ratio") is not None:
+            lines.append(
+                f"  batch: {batch['requests']} requests, |B+| {available} -> "
+                f"CBS kept {kept} (pruned {batch['pruned_ratio']:.1%})"
+            )
+        else:
+            lines.append(
+                f"  batch: {batch['requests']} requests, |B+| {available} "
+                "(no CBS pruning)"
+            )
+        alternatives = decision.get("alternatives") or []
+        if alternatives:
+            runners = "; ".join(
+                f"broker {b} refined {r:.4f} (raw {u:.4f})"
+                for b, r, u in alternatives
+            )
+            lines.append(f"  runners-up: {runners}")
+    if len(decisions) > len(shown):
+        lines.append("")
+        lines.append(f"... {len(decisions) - len(shown)} more (raise --limit)")
     return "\n".join(lines)

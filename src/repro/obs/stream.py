@@ -34,7 +34,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import SpanRecord
@@ -87,11 +87,21 @@ class TelemetryStreamWriter:
         self._spans_sent = 0
         self._last_flush: float | None = None
 
-    def maybe_flush(self, telemetry, day: int = -1, progress: Mapping | None = None) -> bool:
-        """Flush if at least ``interval`` elapsed since the last flush."""
+    def maybe_flush(
+        self,
+        telemetry,
+        day: int = -1,
+        progress: Mapping | None = None,
+        alerts: Sequence[Mapping] | None = None,
+    ) -> bool:
+        """Flush if at least ``interval`` elapsed since the last flush.
+
+        Returns whether a record was written — callers carrying delta
+        payloads (alerts) must re-offer a skipped delta at the next flush.
+        """
         if self._last_flush is not None and self._clock() - self._last_flush < self.interval:
             return False
-        self.flush(telemetry, day=day, progress=progress)
+        self.flush(telemetry, day=day, progress=progress, alerts=alerts)
         return True
 
     def flush(
@@ -100,12 +110,15 @@ class TelemetryStreamWriter:
         day: int = -1,
         progress: Mapping | None = None,
         final: bool = False,
+        alerts: Sequence[Mapping] | None = None,
     ) -> None:
         """Append one stream record: full registry, span delta, progress.
 
         The registry snapshot is cumulative so readers only need the last
         complete record to reconstruct metrics — a torn tail costs one
-        day of lag, never the whole segment.
+        day of lag, never the whole segment.  ``alerts`` are a delta like
+        spans: each record carries only the alerts raised since the last
+        flush, and readers concatenate across records.
         """
         if self.seq == 0 and os.path.exists(self.path):
             # A fresh writer owns its segment: re-running into the same
@@ -123,6 +136,7 @@ class TelemetryStreamWriter:
             "progress": dict(progress) if progress else {},
             "registry": telemetry.registry.to_dict(),
             "spans": [span.to_dict() for span in records[self._spans_sent :]],
+            "alerts": [dict(alert) for alert in alerts] if alerts else [],
         }
         append_jsonl(self.path, record)
         self._spans_sent = len(records)
@@ -144,6 +158,7 @@ class SegmentView:
         progress: the last progress summary (empty dict if none).
         registry_state: the last cumulative registry snapshot.
         spans: all span deltas, concatenated in flush order.
+        alerts: all alert deltas (plain dicts), concatenated in flush order.
     """
 
     segment: str
@@ -155,6 +170,7 @@ class SegmentView:
     progress: dict = field(default_factory=dict)
     registry_state: dict = field(default_factory=dict)
     spans: list[SpanRecord] = field(default_factory=list)
+    alerts: list[dict] = field(default_factory=list)
 
 
 @dataclass
@@ -191,6 +207,13 @@ class StreamView:
                 merged.append(span)
         return merged
 
+    def alerts(self) -> list[dict]:
+        """All segments' alerts, in segment (= spec) then raise order."""
+        merged: list[dict] = []
+        for segment in self.segments:
+            merged.extend(segment.alerts)
+        return merged
+
 
 def read_segment(path) -> SegmentView | None:
     """Read one segment file; ``None`` if it holds no complete record yet.
@@ -211,8 +234,10 @@ def read_segment(path) -> SegmentView | None:
             raise ValueError(f"stream segment {path}: non-increasing seq {seq}")
         last_seq = seq
     spans: list[SpanRecord] = []
+    alerts: list[dict] = []
     for record in records:
         spans.extend(SpanRecord.from_dict(entry) for entry in record.get("spans", ()))
+        alerts.extend(dict(entry) for entry in record.get("alerts", ()))
     last = records[-1]
     return SegmentView(
         segment=os.path.splitext(os.path.basename(path))[0],
@@ -227,6 +252,7 @@ def read_segment(path) -> SegmentView | None:
         progress=dict(last.get("progress", {})),
         registry_state=dict(last.get("registry", {})),
         spans=spans,
+        alerts=alerts,
     )
 
 

@@ -74,6 +74,17 @@ class Telemetry:
         #: the directory ``run_many`` derives per-spec worker segments from.
         self.stream = None
         self.stream_dir: str | None = None
+        #: Decision provenance (:mod:`repro.obs.audit`): ``audit`` holds the
+        #: :class:`~repro.obs.audit.AuditConfig` when auditing is requested
+        #: (None = off), ``audit_dir`` the segment directory, and
+        #: ``audit_segment`` this telemetry's segment stem.  The hook
+        #: installs ``audit_session`` (the live per-run collector) and
+        #: ``audit_writer`` lazily at run start.
+        self.audit = None
+        self.audit_dir: str | None = None
+        self.audit_segment: str = "main"
+        self.audit_session = None
+        self.audit_writer = None
         # Hot-path caches, invalidated on every run-label change: resolved
         # metric instances (skipping per-call label canonicalization) and
         # one shared attrs dict for spans without explicit attributes

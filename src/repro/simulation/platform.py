@@ -124,6 +124,19 @@ class RealEstatePlatform:
         """Ground-truth latent capacities (for evaluation only)."""
         return self.population.latent_capacity
 
+    @property
+    def today_capacity(self) -> np.ndarray:
+        """The current day's *effective* capacities (for evaluation only).
+
+        Unlike :meth:`effective_capacity`, which recomputes from the
+        *current* fatigue state, this is the vector the open (or most
+        recently closed) day actually used — after ``finish_day()`` has
+        already evolved fatigue, recomputing would disagree with the
+        day's realized outcome.  Quality telemetry reads this at day
+        boundaries; algorithms never see it.
+        """
+        return self._today_capacity
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -104,3 +104,127 @@ def test_report_without_spans_still_renders_phase_tables(tmp_path):
     report = render_report(tmp_path)
     assert "engine.assign_batch" in report
     assert "Hotspots" not in report  # section dropped, not crashed
+
+
+# ----------------------------------------------------------------------
+# Optional-field rendering, quality tables, alert tables
+# ----------------------------------------------------------------------
+def test_fmt_opt_distinguishes_absent_from_zero():
+    from repro.obs.report import _fmt_opt
+
+    # A measured zero renders as a number; a field the stream never carried
+    # renders as "-" (the old code printed 0.00 for both).
+    assert _fmt_opt({"workload_dispersion": 0.0}, "workload_dispersion", "{:.2f}") == "0.00"
+    assert _fmt_opt({}, "workload_dispersion", "{:.2f}") == "-"
+    assert _fmt_opt({"utilization": None}, "utilization", "{:.1%}") == "-"
+
+
+def test_watch_renders_dash_for_progress_predating_quality_fields(tmp_path):
+    """Regression: progress records from before the dispersion/quality fields
+    existed must render "-" in watch, not a fake 0.00."""
+    from repro.obs.report import render_watch
+    from repro.obs.stream import TelemetryStreamWriter, stream_dir_for
+    from repro.obs.telemetry import Telemetry
+
+    writer = TelemetryStreamWriter(stream_dir_for(tmp_path), segment="old")
+    writer.flush(
+        Telemetry(),
+        day=0,
+        progress={
+            "algorithm": "LACB-Opt", "num_days": 3, "assignments": 10,
+            "requests_per_second": 5.0, "total_utility": 1.0,
+            "assign_p50": 0.001, "assign_p95": 0.002, "assign_p99": 0.003,
+            # no utilization / workload_dispersion / quality fields at all
+        },
+        final=True,
+    )
+    text, complete = render_watch(tmp_path)
+    assert complete
+    (latency_line,) = [ln for ln in text.splitlines() if "LACB-Opt" in ln and "1.00" in ln]
+    # utilization, dispersion, overload, cap MAE and regret all absent.
+    assert latency_line.split().count("-") == 5
+
+
+def test_watch_renders_measured_zero_dispersion_as_number(tmp_path):
+    from repro.obs.report import render_watch
+    from repro.obs.stream import TelemetryStreamWriter, stream_dir_for
+    from repro.obs.telemetry import Telemetry
+
+    writer = TelemetryStreamWriter(stream_dir_for(tmp_path), segment="new")
+    writer.flush(
+        Telemetry(),
+        day=0,
+        progress={
+            "algorithm": "KM", "num_days": 1, "assignments": 4,
+            "requests_per_second": 2.0, "total_utility": 0.5,
+            "assign_p50": 0.001, "assign_p95": 0.002, "assign_p99": 0.003,
+            "workload_dispersion": 0.0, "utilization": 0.0,
+        },
+        final=True,
+    )
+    text, _complete = render_watch(tmp_path)
+    (latency_line,) = [ln for ln in text.splitlines() if ln.lstrip().startswith("KM")]
+    assert "0.00" in latency_line  # a real measured zero stays a zero
+    assert "0.0%" in latency_line
+
+
+def test_quality_rows_render_dash_for_missing_gauges():
+    from repro.obs.report import QUALITY_HEADERS, quality_rows
+
+    telemetry = Telemetry()
+    telemetry.set_run_label("LACB-Opt")
+    label = telemetry.labels()
+    telemetry.registry.gauge("quality.capacity_mae", **label).set(2.5)
+    telemetry.registry.gauge("quality.workload_gini", **label).set(0.4)
+    telemetry.registry.counter("quality.regret_batches", **label).inc(6)
+    telemetry.set_run_label("Top-3")
+    ranker = telemetry.labels()
+    telemetry.registry.gauge("quality.workload_gini", **ranker).set(0.6)
+
+    rows = quality_rows(telemetry.registry)
+    assert [row[0] for row in rows] == ["LACB-Opt", "Top-3"]
+    by_name = {row[0]: row for row in rows}
+    mae_col = QUALITY_HEADERS.index("cap MAE")
+    gini_col = QUALITY_HEADERS.index("gini")
+    assert by_name["LACB-Opt"][mae_col] == "2.50"
+    assert by_name["Top-3"][mae_col] == "-"  # no capacity model: dash, not 0
+    assert by_name["Top-3"][gini_col] == "0.600"
+    assert by_name["LACB-Opt"][-1] == 6 and by_name["Top-3"][-1] == 0
+
+
+def test_quality_rows_empty_registry_yields_no_table():
+    from repro.obs.report import quality_rows
+
+    assert quality_rows(Telemetry().registry) == []
+
+
+def test_alert_rows_format_streamed_alerts():
+    from repro.obs.alerts import Alert
+    from repro.obs.report import alert_rows
+
+    alert = Alert(
+        day=4, metric="overload_rate", detector="zscore", value=0.4,
+        score=5.25, threshold=4.0, baseline=0.1, algorithm="LACB-Opt",
+    )
+    (row,) = alert_rows([alert.to_dict()])
+    assert row[0] == 4
+    assert row[1] == "LACB-Opt"
+    assert row[2:4] == ("overload_rate", "zscore")
+    assert row[6] == "5.25 >= 4.00"
+    # Alerts without an algorithm label (old streams) render "-".
+    (bare,) = alert_rows([dict(alert.to_dict(), algorithm=None)])
+    assert bare[1] == "-"
+
+
+def test_render_report_includes_quality_table_when_gauged(tmp_path):
+    telemetry = _fake_run_telemetry()
+    label = telemetry.labels()
+    telemetry.registry.gauge("quality.workload_gini", **label).set(0.42)
+    telemetry.registry.gauge("quality.overload_rate", **label).set(0.05)
+    telemetry.export(tmp_path, manifest={"command": "compare"})
+    report = render_report(tmp_path)
+    assert "Assignment quality" in report
+    assert "0.420" in report
+    # Gauges this run never produced render as dashes, not zeros.
+    quality_line = [ln for ln in report.splitlines() if "0.420" in ln][0]
+    assert " - " in quality_line
