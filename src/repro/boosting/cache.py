@@ -1,0 +1,269 @@
+"""Cache-aside layer for GBDT utility predictions.
+
+The deployed utility model answers one matrix query per batch, and the
+rows it computes are *pure*: a request's prediction row depends only on
+the request's features, the (static) broker attributes and the fitted
+ensemble.  Re-queried requests — appealed requests re-entering later
+batches, repeated evaluation sweeps over the same stream — therefore
+recompute identical rows.  This module adds the classic cache-aside
+pattern around :class:`repro.boosting.utility_model.UtilityModel`:
+
+* :class:`UtilityPredictionCache` — a bounded LRU of prediction rows
+  keyed by a request-feature digest (so the key is the *content* of the
+  request, per the ISSUE's ``request-feature hash × broker id`` scheme:
+  one stored row covers all broker columns of one request), with
+  explicit generation-bumping invalidation;
+* :class:`CachedUtilityModel` — a drop-in wrapper with the exact
+  ``fit_from_history`` / ``predict_matrix`` surface, batching all cache
+  misses into a single model call.
+
+Soundness contract
+------------------
+
+A cached row is valid for as long as the function it memoizes is
+unchanged.  Three events can change it, and each maps to an explicit
+invalidation:
+
+1. **model refit** — :meth:`CachedUtilityModel.fit_from_history`
+   invalidates before returning;
+2. **learning updates** — matchers holding a cache
+   (``AssignmentConfig(utility_cache=True)``) call
+   :meth:`UtilityPredictionCache.notify_learning_update` after each
+   day's value-function/bandit updates.  With this repo's platforms the
+   GBDT does not actually depend on that learned state, so the call is
+   conservative — but it is the contract that keeps the cache safe for
+   utility sources that *do* retrain online;
+3. **population change** — the digest covers request features and the
+   broker-pool size, not broker attributes; callers swapping the broker
+   population under one cache must :meth:`~UtilityPredictionCache.
+   invalidate` explicitly.
+
+Because hits return bit-identical rows, enabling the cache never changes
+a seeded run's results — only its environment-side wall-clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.boosting.utility_model import UtilityModel
+from repro.obs import telemetry as obs
+from repro.simulation.brokers import BrokerPopulation
+from repro.simulation.requests import RequestStream
+from repro.state.protocol import expect, versioned
+
+#: Snapshot envelope kind (see ``docs/state.md``).
+STATE_KIND = "boosting.utility_cache"
+
+#: Default row capacity — at paper scale (hundreds of brokers) about
+#: 4096 * |B| floats, tens of megabytes at most.
+DEFAULT_MAX_ROWS = 4096
+
+
+def request_feature_digest(
+    stream: RequestStream, request_index: int, num_brokers: int
+) -> str:
+    """Content key for one request's prediction row.
+
+    Hashes the request-side features that
+    :func:`repro.boosting.utility_model.pair_features` consumes, plus the
+    broker-pool size (a row for a 100-broker pool must never answer a
+    120-broker query).  Two requests with identical features legitimately
+    share a key — the prediction is a pure function of the features.
+    """
+    payload = np.array(
+        [
+            float(stream.district[request_index]),
+            float(stream.house_type[request_index]),
+            float(stream.price[request_index]),
+            float(stream.area[request_index]),
+            float(stream.urgency[request_index]),
+            float(stream.value_multiplier[request_index]),
+            float(num_brokers),
+        ]
+    )
+    return hashlib.blake2b(payload.tobytes(), digest_size=16).hexdigest()
+
+
+class UtilityPredictionCache:
+    """Bounded LRU of prediction rows with generation-bump invalidation.
+
+    Attributes:
+        generation: monotone counter bumped by every invalidation; stored
+            rows belong to the current generation by construction (the
+            store is cleared on bump), so the counter is provenance for
+            telemetry and snapshots rather than a per-row filter.
+        stats: monotone counters — ``hits``, ``misses``, ``evictions``,
+            ``invalidations``.
+    """
+
+    def __init__(self, max_rows: int = DEFAULT_MAX_ROWS) -> None:
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        self.max_rows = int(max_rows)
+        self.generation = 0
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0, "invalidations": 0}
+        self._rows: OrderedDict[str, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def lookup(self, key: str) -> np.ndarray | None:
+        """The cached row for ``key`` (refreshing recency), or ``None``."""
+        row = self._rows.get(key)
+        if row is None:
+            self.stats["misses"] += 1
+            return None
+        self._rows.move_to_end(key)
+        self.stats["hits"] += 1
+        return row
+
+    def store(self, key: str, row: np.ndarray) -> None:
+        """Insert (a copy of) a freshly computed row, evicting LRU rows."""
+        self._rows[key] = np.array(row, dtype=float)
+        self._rows.move_to_end(key)
+        while len(self._rows) > self.max_rows:
+            self._rows.popitem(last=False)
+            self.stats["evictions"] += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached row and open a new generation."""
+        self._rows.clear()
+        self.generation += 1
+        self.stats["invalidations"] += 1
+        obs.add("utility_cache.invalidations", 1)
+
+    def notify_learning_update(self) -> None:
+        """Invalidate after a value-function/bandit update (cache-aside).
+
+        Semantically identical to :meth:`invalidate`; the separate entry
+        point exists so call sites read as the contract they implement.
+        """
+        self.invalidate()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot: rows (in recency order), generation, counters."""
+        return versioned(
+            STATE_KIND,
+            {
+                "max_rows": int(self.max_rows),
+                "generation": int(self.generation),
+                "stats": dict(self.stats),
+                "keys": list(self._rows.keys()),
+                "rows": [row.copy() for row in self._rows.values()],
+            },
+        )
+
+    def restore(self, state) -> None:
+        """Reinstall a :meth:`snapshot` (recency order preserved)."""
+        payload = expect(state, STATE_KIND)
+        self.max_rows = int(payload["max_rows"])
+        self.generation = int(payload["generation"])
+        self.stats = {key: int(value) for key, value in payload["stats"].items()}
+        self._rows = OrderedDict(
+            (key, np.array(row, dtype=float))
+            for key, row in zip(payload["keys"], payload["rows"])
+        )
+
+
+class CachedUtilityModel:
+    """Drop-in :class:`UtilityModel` wrapper answering from the cache.
+
+    Misses are batched into one underlying ``predict_matrix`` call, so a
+    fully-cold query costs exactly one model invocation — the wrapper is
+    never slower by more than the hash/lookup overhead.  Because the
+    GBDT's prediction is row-independent, a row computed in a miss batch
+    is bit-identical to the row the uncached model would produce for any
+    other batch containing the same request.
+
+    Args:
+        model: the fitted (or to-be-fitted) utility model.
+        cache: the row store; pass a matcher's
+            :attr:`~repro.algorithms.lacb.LACBMatcher.utility_cache` to
+            couple invalidation to its learning updates, or omit for a
+            private cache invalidated only by refits.
+    """
+
+    def __init__(
+        self, model: UtilityModel, cache: UtilityPredictionCache | None = None
+    ) -> None:
+        self.model = model
+        self.cache = cache if cache is not None else UtilityPredictionCache()
+
+    def fit_from_history(
+        self,
+        population: BrokerPopulation,
+        stream: RequestStream,
+        request_indices: np.ndarray,
+        broker_indices: np.ndarray,
+        outcomes: np.ndarray,
+    ) -> "CachedUtilityModel":
+        """Refit the underlying model and invalidate every cached row."""
+        self.model.fit_from_history(
+            population, stream, request_indices, broker_indices, outcomes
+        )
+        self.cache.invalidate()
+        return self
+
+    def predict_matrix(
+        self,
+        population: BrokerPopulation,
+        stream: RequestStream,
+        request_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Utility matrix ``u_{r,b}``, bit-identical to the uncached model."""
+        request_indices = np.asarray(request_indices, dtype=int)
+        n = request_indices.size
+        num_brokers = len(population)
+        if n == 0:
+            return np.zeros((0, num_brokers))
+        keys = [
+            request_feature_digest(stream, int(index), num_brokers)
+            for index in request_indices
+        ]
+        out = np.empty((n, num_brokers))
+        missing: list[int] = []
+        for position, key in enumerate(keys):
+            row = self.cache.lookup(key)
+            if row is None:
+                missing.append(position)
+            else:
+                out[position] = row
+        if missing:
+            computed = self.model.predict_matrix(
+                population, stream, request_indices[missing]
+            )
+            for offset, position in enumerate(missing):
+                out[position] = computed[offset]
+                self.cache.store(keys[position], computed[offset])
+        obs.add("utility_cache.lookups", n)
+        if missing:
+            obs.add("utility_cache.miss_rows", len(missing))
+        return out
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.state contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep snapshot: the fitted ensemble plus the row store."""
+        return versioned(
+            "boosting.cached_utility_model",
+            {"model": self.model.snapshot(), "cache": self.cache.snapshot()},
+        )
+
+    def restore(self, state) -> None:
+        payload = expect(state, "boosting.cached_utility_model")
+        self.model.restore(payload["model"])
+        self.cache.restore(payload["cache"])

@@ -17,6 +17,11 @@ The agreements checked:
 * ``pad_square=True`` vs the rectangular solve: Sec. VI-B's dummy-vertex
   squaring is a pure running-time experiment and must not change results.
 * CBS pruning vs the unpruned instance (Theorem 2): equal optimal totals.
+* the warm-started incremental KM solver vs a fresh cold solve, over a
+  whole perturbation sequence: *bit-identical* pairs and totals at every
+  step (not merely equal optima — the incremental path promises the exact
+  reference result), with every step additionally cross-validated across
+  all four backends.
 * ``candidate_broker_selection`` vs brute-force ``np.sort`` top-k.
 * the ``argpartition`` fast kernel vs the quickselect reference: exactly
   equal per-row ``Top_k`` sets and batch unions (see
@@ -87,6 +92,43 @@ def assert_backends_agree(weights: np.ndarray) -> None:
                 f"backend {backend!r} total {total!r} != scipy total "
                 f"{reference_total!r} on shape {weights.shape}:\n{weights!r}"
             )
+
+
+def assert_incremental_matches_cold(sequence) -> None:
+    """Warm-started solves equal cold solves, bitwise, along a sequence.
+
+    Drives one :class:`repro.matching.incremental.IncrementalKMSolver`
+    through the matrices in order — so hits, prefix resumptions and cold
+    fallbacks all occur — and demands the *exact* cold-reference result at
+    every step: identical pair lists (same tie resolution) and bitwise
+    equal totals.  Equal-value-but-different matchings are a failure here;
+    the incremental solver's contract is bit-identity, which is what keeps
+    seeded runs reproducible across kernel modes.  Each step's instance is
+    also pushed through :func:`assert_backends_agree`, cross-validating
+    the shared optimum across all four backends.
+    """
+    from repro.matching.incremental import IncrementalKMSolver
+
+    solver = IncrementalKMSolver()
+    for step, weights in enumerate(sequence):
+        weights = np.asarray(weights, dtype=float)
+        warm = solver.solve(weights, maximize=True)
+        cold = solve_assignment(weights, maximize=True, backend="repro")
+        if warm.pairs != cold.pairs:
+            raise AssertionError(
+                f"incremental solve diverged from cold solve at step {step} "
+                f"(shape {weights.shape}, stats {solver.stats}): warm pairs "
+                f"{warm.pairs!r} != cold pairs {cold.pairs!r}\n{weights!r}"
+            )
+        if warm.total_weight != cold.total_weight:
+            raise AssertionError(
+                f"incremental total is not bit-identical at step {step} "
+                f"(shape {weights.shape}, stats {solver.stats}): "
+                f"{warm.total_weight!r} != {cold.total_weight!r}\n{weights!r}"
+            )
+        atol = EXACT_ATOL * max(1.0, _scale(weights))
+        assert_valid_matching(warm, weights, atol=atol)
+        assert_backends_agree(weights)
 
 
 def assert_pad_square_agrees(weights: np.ndarray, backend: str = "repro") -> None:

@@ -251,6 +251,87 @@ def random_mlp_case(
     return layer_sizes, inputs, int(rng.integers(0, 2**31))
 
 
+def random_perturbation_sequence(
+    rng: np.random.Generator,
+    max_rows: int = 8,
+    max_cols: int = 12,
+    max_steps: int = 6,
+) -> list[np.ndarray]:
+    """A sequence of related utility matrices for warm-start properties.
+
+    Models the batch-to-batch evolution an incremental solver faces: the
+    first matrix is arbitrary, and each later step applies one mutation —
+    ``k``-row deltas (random rows or the trailing block the value
+    refinement typically touches), identical repeats, full redraws, broker
+    columns added or removed, tie storms (coarse quantization creating
+    mass ties), and occasional full reshapes including degenerate 0-row /
+    0-column shapes.
+    """
+    n_rows = int(rng.integers(1, max_rows + 1))
+    n_cols = int(rng.integers(1, max_cols + 1))
+    current = random_utilities(rng, shape=(n_rows, n_cols))
+    sequence = [current]
+    mutations = (
+        "delta_rows",
+        "delta_tail",
+        "repeat",
+        "redraw",
+        "add_broker",
+        "drop_broker",
+        "tie_storm",
+        "reshape",
+    )
+    for _ in range(int(rng.integers(1, max_steps + 1))):
+        n_rows, n_cols = current.shape
+        mutation = mutations[int(rng.integers(len(mutations)))]
+        if mutation in ("delta_rows", "delta_tail") and n_rows == 0:
+            mutation = "repeat"
+        if mutation == "drop_broker" and n_cols <= 1:
+            mutation = "add_broker"
+        if mutation == "delta_rows":
+            k = int(rng.integers(1, n_rows + 1))
+            rows = rng.choice(n_rows, size=k, replace=False)
+            current = current.copy()
+            current[rows] = random_utilities(rng, shape=(k, n_cols))
+        elif mutation == "delta_tail":
+            k = int(rng.integers(1, n_rows + 1))
+            current = current.copy()
+            current[n_rows - k:] = random_utilities(rng, shape=(k, n_cols))
+        elif mutation == "repeat":
+            current = current.copy()
+        elif mutation == "redraw":
+            current = random_utilities(rng, shape=(n_rows, n_cols))
+        elif mutation == "add_broker":
+            column = random_utilities(rng, shape=(n_rows, 1))
+            current = np.hstack([current, column])
+        elif mutation == "drop_broker":
+            column = int(rng.integers(n_cols))
+            current = np.delete(current, column, axis=1)
+        elif mutation == "tie_storm":
+            current = np.round(current)
+        else:  # reshape
+            current = random_utilities(rng, shape=random_shape(rng))
+        sequence.append(current)
+    return sequence
+
+
+def shrink_sequence(sequence: list[np.ndarray]):
+    """Shrink candidates for a failing perturbation sequence.
+
+    Yields tail truncations first (warm-start failures usually need only
+    the last few steps), then each single-step drop, then per-matrix
+    simplifications of the final step via :func:`shrink_matrix`.
+    """
+    if len(sequence) > 2:
+        yield sequence[-2:]
+    for index in range(len(sequence)):
+        if len(sequence) > 1:
+            yield sequence[:index] + sequence[index + 1:]
+    if sequence and sequence[-1].size:
+        for candidate in shrink_matrix(sequence[-1]):
+            yield sequence[:-1] + [candidate]
+
+
 def shrink_matrix(weights: np.ndarray):
     """Shrink candidates for a failing matrix: fewer rows/cols, simpler values.
 

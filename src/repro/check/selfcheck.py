@@ -10,7 +10,8 @@ Runs the whole correctness layer against a small simulated city:
    aggressive sampling rate.
 2. **Property phase** — the differential suites of
    :mod:`repro.check.differential` over randomized instances: backend
-   agreement, square-padding agreement, CBS preservation, and top-k
+   agreement, square-padding agreement, CBS preservation, warm-started
+   incremental KM vs cold solves over perturbation sequences, and top-k
    selection vs brute force.
 
 Everything found comes back in one :class:`SelfCheckReport`; the CLI
@@ -145,6 +146,12 @@ def _run_property_phase(
             differential.assert_cbs_preserves,
             lambda rng: prop.random_utilities(rng, allow_negative=False),
             prop.shrink_matrix,
+        ),
+        (
+            "property.incremental_matches_cold",
+            differential.assert_incremental_matches_cold,
+            prop.random_perturbation_sequence,
+            prop.shrink_sequence,
         ),
         (
             "property.topk_bruteforce",

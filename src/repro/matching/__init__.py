@@ -11,6 +11,9 @@ shrinks that graph before solving.  This package provides
   graphs and matrix construction helpers,
 - :mod:`~repro.matching.greedy` — the greedy matcher used as a sanity
   baseline,
+- :mod:`~repro.matching.incremental` — a warm-started KM solver for
+  streams of related instances (trajectory resumption; bit-identical to
+  the cold solver),
 - :mod:`~repro.matching.flow` — a successive-shortest-path min-cost-flow
   solver used in tests to independently verify matching optimality,
 - :mod:`~repro.matching.validation` — structural checks on matchings.
@@ -21,6 +24,7 @@ from repro.matching.bipartite import MatchResult, pad_to_square
 from repro.matching.flow import min_cost_flow_assignment
 from repro.matching.greedy import greedy_assignment
 from repro.matching.hungarian import hungarian, solve_assignment
+from repro.matching.incremental import IncrementalKMSolver
 from repro.matching.validation import assert_valid_matching, is_valid_matching
 
 __all__ = [
@@ -28,6 +32,7 @@ __all__ = [
     "pad_to_square",
     "hungarian",
     "solve_assignment",
+    "IncrementalKMSolver",
     "auction_assignment",
     "greedy_assignment",
     "min_cost_flow_assignment",

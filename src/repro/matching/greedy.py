@@ -18,19 +18,34 @@ def greedy_assignment(weights: np.ndarray, min_weight: float = 0.0) -> MatchResu
 
     Args:
         weights: ``(n_rows, n_cols)`` edge weights.
-        min_weight: edges with weight strictly below this are never taken
-            (zero keeps parity with dummy-padding semantics, where staying
-            unmatched has zero value).
+        min_weight: edges with weight strictly below this are never taken.
+            Must be non-negative: greedy only ever takes strictly positive
+            edges (parity with dummy-padding semantics, where staying
+            unmatched has zero value), so a negative floor cannot admit
+            anything and is rejected rather than silently ignored.
 
     Returns:
         A :class:`MatchResult`; total weight is at least half the optimum
         (the classic 1/2-approximation guarantee of greedy matching).
+        Equal-weight edges are taken in ascending (row, col) order — the
+        same smallest-index tie convention the exact backends follow.
+
+    Raises:
+        ValueError: on a malformed matrix or a negative ``min_weight``.
     """
     weights = np.asarray(weights, dtype=float)
     if weights.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {weights.shape}")
+    if min_weight < 0.0:
+        raise ValueError(
+            f"min_weight must be non-negative, got {min_weight}: greedy never "
+            "takes non-positive edges, so a negative floor would be ignored"
+        )
     n_rows, n_cols = weights.shape
-    flat_order = np.argsort(weights, axis=None)[::-1]
+    # Stable sort on the negated weights: descending by weight, ties by
+    # ascending flat index — i.e. smallest (row, col) first.  Reversing an
+    # ascending argsort would resolve ties to the *largest* flat index.
+    flat_order = np.argsort(-weights.ravel(), kind="stable")
     row_used = np.zeros(n_rows, dtype=bool)
     col_used = np.zeros(n_cols, dtype=bool)
     pairs: list[tuple[int, int]] = []

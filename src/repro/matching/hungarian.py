@@ -46,7 +46,10 @@ def hungarian(cost: np.ndarray) -> np.ndarray:
     slackness requires every unmatched column to carry zero potential, and
     a reused profile cannot know which columns the new instance will leave
     unmatched (measured: ~85% of warm-started rectangular solves came back
-    suboptimal).  Cold starts everywhere.
+    suboptimal).  The sound alternative is trajectory resumption — replay
+    the row-insertion sequence from the last row whose cost data changed —
+    which :class:`repro.matching.incremental.IncrementalKMSolver` builds on
+    top of the same :func:`_km_insert_row` primitive this solver uses.
     """
     cost = np.asarray(cost, dtype=float)
     if cost.ndim != 2:
@@ -67,44 +70,73 @@ def hungarian(cost: np.ndarray) -> np.ndarray:
     v = np.zeros(n_cols + 1)
     row_of_col = np.zeros(n_cols + 1, dtype=int)
     way = np.zeros(n_cols + 1, dtype=int)
-    inf = np.inf
 
     for row in range(1, n_rows + 1):
-        row_of_col[0] = row
-        j0 = 0
-        min_reduced = np.full(n_cols, inf)  # over real columns 1..n_cols
-        used = np.zeros(n_cols + 1, dtype=bool)
-        used_rows: list[int] = []
-        while True:
-            used[j0] = True
-            used_rows.append(row_of_col[j0])
-            i0 = row_of_col[j0]
-            reduced = cost[i0 - 1, :] - u[i0] - v[1:]
-            unused = ~used[1:]
-            improve = unused & (reduced < min_reduced)
-            min_reduced[improve] = reduced[improve]
-            way[1:][improve] = j0
-            masked = np.where(unused, min_reduced, inf)
-            j1 = int(np.argmin(masked)) + 1
-            delta = masked[j1 - 1]
-            # Update potentials: tight edges stay tight, one new edge
-            # becomes tight; unreached columns get closer by delta.
-            u[used_rows] += delta
-            v[used] -= delta
-            min_reduced[unused] -= delta
-            j0 = j1
-            if row_of_col[j0] == 0:
-                break
-        # Augment along the alternating path back to the sentinel column.
-        while j0 != 0:
-            j1 = way[j0]
-            row_of_col[j0] = row_of_col[j1]
-            j0 = j1
+        _km_insert_row(cost, u, v, row_of_col, way, row)
 
     col_of_row = np.zeros(n_rows, dtype=int)
     matched = row_of_col[1:] > 0
     col_of_row[row_of_col[1:][matched] - 1] = np.nonzero(matched)[0]
     return col_of_row
+
+
+def _km_insert_row(
+    cost: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    row_of_col: np.ndarray,
+    way: np.ndarray,
+    row: int,
+) -> None:
+    """Insert one row (1-based) into a partial KM solution, in place.
+
+    This is the augmenting step shared by :func:`hungarian` and the
+    incremental solver: grow an alternating tree of tight edges from
+    ``row`` until a free column is reached, updating the duals so reduced
+    costs stay non-negative, then augment along the tree.
+
+    The state after inserting rows ``1..p`` is a pure function of the cost
+    entries of those rows — nothing here reads a row that has not been
+    inserted yet.  That determinism is what makes trajectory resumption in
+    :mod:`repro.matching.incremental` exact: resuming from a recorded
+    ``(u, v, row_of_col)`` replays the same arithmetic in the same order
+    as a cold solve would.  ``way`` is write-before-read within a single
+    insertion (the augmenting path only traverses columns whose pointer
+    was set while growing this row's tree), so it carries no state across
+    insertions and needs no recording.
+    """
+    n_cols = v.size - 1
+    inf = np.inf
+    row_of_col[0] = row
+    j0 = 0
+    min_reduced = np.full(n_cols, inf)  # over real columns 1..n_cols
+    used = np.zeros(n_cols + 1, dtype=bool)
+    used_rows: list[int] = []
+    while True:
+        used[j0] = True
+        used_rows.append(row_of_col[j0])
+        i0 = row_of_col[j0]
+        reduced = cost[i0 - 1, :] - u[i0] - v[1:]
+        unused = ~used[1:]
+        improve = unused & (reduced < min_reduced)
+        min_reduced[improve] = reduced[improve]
+        way[1:][improve] = j0
+        masked = np.where(unused, min_reduced, inf)
+        j1 = int(np.argmin(masked)) + 1
+        delta = masked[j1 - 1]
+        # Update potentials: tight edges stay tight, one new edge
+        # becomes tight; unreached columns get closer by delta.
+        u[used_rows] += delta
+        v[used] -= delta
+        min_reduced[unused] -= delta
+        j0 = j1
+        if row_of_col[j0] == 0:
+            break
+    # Augment along the alternating path back to the sentinel column.
+    while j0 != 0:
+        j1 = way[j0]
+        row_of_col[j0] = row_of_col[j1]
+        j0 = j1
 
 
 def solve_assignment(

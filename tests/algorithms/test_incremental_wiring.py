@@ -1,0 +1,121 @@
+"""Incremental-matching knobs wired through the matchers.
+
+``AssignmentConfig(incremental=True, utility_cache=True)`` (and the
+matching ``BatchKMMatcher`` flags) must never change results — only the
+route by which repeated solves are computed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.algorithms import BatchKMMatcher
+from repro.core.config import AssignmentConfig, BanditConfig, LACBConfig
+from repro.engine import MatcherSpec, PlatformSpec, RunSpec
+from repro.engine.executor import execute_spec
+from repro.simulation import SyntheticConfig
+
+
+def _pairs(assignment):
+    return [(pair.request_id, pair.broker_id, pair.utility) for pair in assignment.pairs]
+
+
+def _batch_stream(rng, steps=12, shape=(6, 14)):
+    current = rng.uniform(0.05, 1.0, size=shape)
+    stream = [current]
+    for step in range(steps - 1):
+        if step % 4 == 3:
+            current = rng.uniform(0.05, 1.0, size=shape)
+        else:
+            current = current.copy()
+            current[shape[0] - 1] = rng.uniform(0.05, 1.0, size=shape[1])
+        stream.append(current)
+    return stream
+
+
+def test_km_incremental_matches_cold_over_batches(rng):
+    warm = BatchKMMatcher(incremental=True)
+    cold = BatchKMMatcher()
+    with perf.use_fast_kernels(True):
+        for batch, utilities in enumerate(_batch_stream(rng)):
+            ids = np.arange(utilities.shape[0])
+            assert _pairs(warm.assign_batch(0, batch, ids, utilities)) == _pairs(
+                cold.assign_batch(0, batch, ids, utilities)
+            )
+    assert warm._incremental_solver is not None
+    assert warm._incremental_solver.stats["warm"] > 0
+
+
+def test_km_incremental_inert_under_reference_kernels(rng):
+    matcher = BatchKMMatcher(incremental=True)
+    utilities = rng.uniform(0.05, 1.0, size=(4, 9))
+    with perf.use_fast_kernels(False):
+        matcher.assign_batch(0, 0, np.arange(4), utilities)
+    assert matcher._incremental_solver is None
+
+
+def test_km_incremental_inert_for_other_backends(rng):
+    matcher = BatchKMMatcher(backend="scipy", incremental=True)
+    utilities = rng.uniform(0.05, 1.0, size=(4, 9))
+    with perf.use_fast_kernels(True):
+        matcher.assign_batch(0, 0, np.arange(4), utilities)
+    assert matcher._incremental_solver is None
+
+
+def _lacb_spec(incremental, utility_cache, use_cbs=True, seed=11):
+    return MatcherSpec(
+        "LACB-Opt" if use_cbs else "LACB",
+        seed=seed,
+        lacb_config=LACBConfig(
+            bandit=BanditConfig(),
+            assignment=AssignmentConfig(
+                use_cbs=use_cbs,
+                incremental=incremental,
+                utility_cache=utility_cache,
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def platform_spec():
+    return PlatformSpec.synthetic(
+        SyntheticConfig(num_brokers=12, num_requests=90, num_days=3, seed=3)
+    )
+
+
+@pytest.mark.parametrize("use_cbs", [False, True])
+def test_lacb_run_unchanged_by_the_knobs(platform_spec, use_cbs):
+    with perf.use_fast_kernels(True):
+        plain = execute_spec(
+            RunSpec(platform=platform_spec, matcher=_lacb_spec(False, False, use_cbs))
+        )
+        tuned = execute_spec(
+            RunSpec(platform=platform_spec, matcher=_lacb_spec(True, True, use_cbs))
+        )
+    assert tuned.total_realized_utility == plain.total_realized_utility
+    assert tuned.total_predicted_utility == plain.total_predicted_utility
+    assert tuned.num_assigned == plain.num_assigned
+    np.testing.assert_array_equal(tuned.daily_utility, plain.daily_utility)
+    np.testing.assert_array_equal(tuned.broker_utility, plain.broker_utility)
+
+
+def test_lacb_incremental_checkpoint_resume_round_trip(tmp_path, platform_spec):
+    root = str(tmp_path)
+    with perf.use_fast_kernels(True):
+        straight = execute_spec(
+            RunSpec(
+                platform=platform_spec,
+                matcher=_lacb_spec(True, True),
+                checkpoint_dir=root,
+            )
+        )
+        resumed = execute_spec(
+            RunSpec(
+                platform=platform_spec,
+                matcher=_lacb_spec(True, True),
+                resume_from=root,
+            )
+        )
+    assert resumed.total_realized_utility == straight.total_realized_utility
+    np.testing.assert_array_equal(resumed.daily_utility, straight.daily_utility)

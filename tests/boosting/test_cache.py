@@ -1,0 +1,186 @@
+"""Utility-prediction cache: bit-identical rows, LRU bounds, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import CachedUtilityModel, UtilityModel, UtilityPredictionCache
+from repro.boosting.cache import request_feature_digest
+from repro.simulation import SyntheticConfig, generate_city
+
+CITY = SyntheticConfig(num_brokers=12, num_requests=60, num_days=1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    platform = generate_city(CITY)
+    rng = np.random.default_rng(0)
+    n = 120
+    model = UtilityModel(num_rounds=8, rng=np.random.default_rng(1))
+    model.fit_from_history(
+        platform.population,
+        platform.stream,
+        rng.integers(0, CITY.num_requests, size=n),
+        rng.integers(0, CITY.num_brokers, size=n),
+        rng.uniform(0.0, 1.0, size=n),
+    )
+    return platform, model
+
+
+def test_cached_rows_are_bit_identical(fitted):
+    platform, model = fitted
+    cached = CachedUtilityModel(model)
+    batch = np.array([0, 5, 9, 5, 17])
+    expected = model.predict_matrix(platform.population, platform.stream, batch)
+    # Cold pass (all misses), then warm pass (all hits): both exact.
+    np.testing.assert_array_equal(
+        cached.predict_matrix(platform.population, platform.stream, batch), expected
+    )
+    np.testing.assert_array_equal(
+        cached.predict_matrix(platform.population, platform.stream, batch), expected
+    )
+    assert cached.cache.stats["hits"] > 0
+
+
+def test_misses_are_batched_into_one_model_call(fitted):
+    platform, model = fitted
+    calls = []
+    real = model.predict_matrix
+
+    class Counting:
+        def __getattr__(self, name):
+            return getattr(model, name)
+
+        def predict_matrix(self, population, stream, request_indices):
+            calls.append(np.asarray(request_indices).size)
+            return real(population, stream, request_indices)
+
+    cached = CachedUtilityModel(Counting())
+    cached.predict_matrix(platform.population, platform.stream, np.array([1, 2, 3]))
+    cached.predict_matrix(platform.population, platform.stream, np.array([2, 3, 4]))
+    # First call misses all 3; second call misses only request 4.
+    assert calls == [3, 1]
+
+
+def test_duplicate_requests_share_rows_across_batches(fitted):
+    platform, model = fitted
+    cached = CachedUtilityModel(model)
+    batch = np.array([7, 7, 7])
+    out = cached.predict_matrix(platform.population, platform.stream, batch)
+    np.testing.assert_array_equal(out[0], out[1])
+    np.testing.assert_array_equal(out[0], out[2])
+    # Within one batch the duplicates miss together (they are computed in
+    # the single batched model call); one row is stored, and the next
+    # batch answers every duplicate from it.
+    assert len(cached.cache) == 1
+    cached.predict_matrix(platform.population, platform.stream, batch)
+    assert cached.cache.stats["hits"] == 3
+
+
+def test_refit_invalidates(fitted):
+    platform, model = fitted
+    cached = CachedUtilityModel(model)
+    cached.predict_matrix(platform.population, platform.stream, np.array([0, 1]))
+    assert len(cached.cache) == 2
+    generation = cached.cache.generation
+    rng = np.random.default_rng(2)
+    n = 80
+    cached.fit_from_history(
+        platform.population,
+        platform.stream,
+        rng.integers(0, CITY.num_requests, size=n),
+        rng.integers(0, CITY.num_brokers, size=n),
+        rng.uniform(0.0, 1.0, size=n),
+    )
+    assert len(cached.cache) == 0
+    assert cached.cache.generation == generation + 1
+    # Post-refit predictions are the refitted model's, not stale rows.
+    batch = np.array([0, 1])
+    np.testing.assert_array_equal(
+        cached.predict_matrix(platform.population, platform.stream, batch),
+        model.predict_matrix(platform.population, platform.stream, batch),
+    )
+
+
+def test_notify_learning_update_clears_rows():
+    cache = UtilityPredictionCache()
+    cache.store("a", np.ones(4))
+    cache.notify_learning_update()
+    assert len(cache) == 0
+    assert cache.stats["invalidations"] == 1
+    assert cache.lookup("a") is None
+
+
+def test_lru_eviction_bounds_the_store():
+    cache = UtilityPredictionCache(max_rows=2)
+    cache.store("a", np.zeros(3))
+    cache.store("b", np.ones(3))
+    cache.lookup("a")  # refresh "a" — "b" becomes LRU
+    cache.store("c", np.full(3, 2.0))
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.lookup("c") is not None
+    assert cache.stats["evictions"] == 1
+
+
+def test_stored_rows_are_copies():
+    cache = UtilityPredictionCache()
+    row = np.ones(3)
+    cache.store("a", row)
+    row[0] = 99.0
+    assert cache.lookup("a")[0] == 1.0
+
+
+def test_max_rows_must_be_positive():
+    with pytest.raises(ValueError):
+        UtilityPredictionCache(max_rows=0)
+
+
+def test_digest_depends_on_broker_pool_size(fitted):
+    platform, _ = fitted
+    assert request_feature_digest(platform.stream, 0, 10) != request_feature_digest(
+        platform.stream, 0, 11
+    )
+    assert request_feature_digest(platform.stream, 0, 10) == request_feature_digest(
+        platform.stream, 0, 10
+    )
+
+
+def test_empty_batch(fitted):
+    platform, model = fitted
+    cached = CachedUtilityModel(model)
+    out = cached.predict_matrix(platform.population, platform.stream, np.array([], dtype=int))
+    assert out.shape == (0, CITY.num_brokers)
+
+
+def test_cache_snapshot_roundtrip():
+    cache = UtilityPredictionCache(max_rows=3)
+    cache.store("a", np.arange(4.0))
+    cache.store("b", np.arange(4.0) * 2)
+    cache.lookup("a")
+    cache.invalidate()
+    cache.store("c", np.arange(4.0) * 3)
+    snap = cache.snapshot()
+
+    twin = UtilityPredictionCache()
+    twin.restore(snap)
+    assert twin.generation == cache.generation
+    assert twin.stats == cache.stats
+    assert len(twin) == 1
+    np.testing.assert_array_equal(twin.lookup("c"), cache.lookup("c"))
+
+
+def test_cached_model_snapshot_roundtrip(fitted):
+    platform, model = fitted
+    cached = CachedUtilityModel(model)
+    batch = np.array([3, 4, 5])
+    expected = cached.predict_matrix(platform.population, platform.stream, batch)
+    snap = cached.snapshot()
+
+    twin = CachedUtilityModel(UtilityModel())
+    twin.restore(snap)
+    hits_before = twin.cache.stats["hits"]
+    np.testing.assert_array_equal(
+        twin.predict_matrix(platform.population, platform.stream, batch), expected
+    )
+    # The restored store answers the whole batch without a model call.
+    assert twin.cache.stats["hits"] == hits_before + batch.size

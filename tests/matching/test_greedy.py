@@ -32,6 +32,35 @@ def test_rejects_non_matrix():
         greedy_assignment(np.zeros(4))
 
 
+def test_ties_resolve_to_smallest_row_col():
+    # Regression: reversing an ascending argsort resolved equal weights to
+    # the *largest* flat index, so an all-tie row matched its last column.
+    result = greedy_assignment(np.array([[0.5, 0.5, 0.5]]))
+    assert result.pairs == [(0, 0)]
+    # Ties across rows likewise fill in ascending (row, col) order.
+    square = greedy_assignment(np.full((2, 2), 0.7))
+    assert square.pairs == [(0, 0), (1, 1)]
+
+
+def test_tie_order_matches_exact_backends_on_uniform_matrix():
+    weights = np.full((3, 5), 0.3)
+    greedy = greedy_assignment(weights)
+    exact = solve_assignment(weights, backend="repro")
+    assert greedy.pairs == exact.pairs
+
+
+def test_negative_min_weight_is_rejected():
+    # Regression: a negative floor used to be silently overridden by the
+    # nonpositive-edge cutoff; the contract is now pinned as an error.
+    with pytest.raises(ValueError, match="min_weight"):
+        greedy_assignment(np.array([[0.5, -0.2]]), min_weight=-1.0)
+
+
+def test_zero_min_weight_still_skips_nonpositive_edges():
+    result = greedy_assignment(np.array([[0.0, -0.5, 0.4]]), min_weight=0.0)
+    assert result.pairs == [(0, 2)]
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 10_000))
 def test_half_approximation_property(rows, cols, seed):
