@@ -59,9 +59,23 @@ def _build(platform_spec, algorithm: str, seed: int):
     return platform, matcher, collector
 
 
-def _compare_results(straight, resumed, algorithm: str) -> list[Violation]:
-    """Bitwise RunResult comparison, timing excluded."""
+def _compare_results(
+    straight,
+    resumed,
+    algorithm: str,
+    prefix: str = "resume",
+    labels: tuple[str, str] = ("straight", "resumed"),
+) -> list[Violation]:
+    """Bitwise RunResult comparison, timing excluded.
+
+    Shared by every ≡-style suite: resume equivalence compares a straight
+    run against a checkpoint/kill/resume run, serving equivalence
+    (:mod:`repro.check.serving`) a batch day loop against a
+    boundary-flush serving run.  ``prefix`` names the violations
+    (``<prefix>.result_diverges`` etc.), ``labels`` the two sides.
+    """
     violations: list[Violation] = []
+    left, right = labels
     for field in dataclasses.fields(straight):
         if field.name in TIMING_FIELDS:
             continue
@@ -73,8 +87,8 @@ def _compare_results(straight, resumed, algorithm: str) -> list[Violation]:
             if flat_a != flat_b:
                 violations.append(
                     Violation(
-                        "resume.assignments_diverge",
-                        f"{len(flat_a)} straight vs {len(flat_b)} resumed assignment "
+                        f"{prefix}.assignments_diverge",
+                        f"{len(flat_a)} {left} vs {len(flat_b)} {right} assignment "
                         "pairs, or pair contents differ",
                         algorithm=algorithm,
                     )
@@ -90,8 +104,8 @@ def _compare_results(straight, resumed, algorithm: str) -> list[Violation]:
             if not same:
                 violations.append(
                     Violation(
-                        "resume.outcomes_diverge",
-                        "stored day outcomes differ between straight and resumed runs",
+                        f"{prefix}.outcomes_diverge",
+                        f"stored day outcomes differ between {left} and {right} runs",
                         algorithm=algorithm,
                     )
                 )
@@ -105,8 +119,8 @@ def _compare_results(straight, resumed, algorithm: str) -> list[Violation]:
         if not same:
             violations.append(
                 Violation(
-                    "resume.result_diverges",
-                    f"RunResult.{field.name}: straight {a!r} != resumed {b!r}",
+                    f"{prefix}.result_diverges",
+                    f"RunResult.{field.name}: {left} {a!r} != {right} {b!r}",
                     algorithm=algorithm,
                 )
             )

@@ -6,6 +6,9 @@ Subcommands:
 - ``sweep``    — one Fig. 8 column (vary a Table III factor);
 - ``city``     — the Fig. 9-11 evaluation on a real-like city;
 - ``motivate`` — the Sec. II measurement study (Figs. 2-4);
+- ``serve``    — event-driven serving mode: micro-batched matching over a
+  deterministic arrival process, with queue-wait/latency quantiles
+  (``--equivalence`` proves boundary-flush serving ≡ the batch day loop);
 - ``timing``   — the per-batch matching-cost profile (the CBS speedup);
 - ``report``   — render the telemetry a ``--telemetry DIR`` run exported
   (falls back to streamed partials when the run crashed before export);
@@ -280,6 +283,94 @@ def _cmd_develop(args: argparse.Namespace) -> None:
     )
 
 
+def _serve_matcher(name: str, platform, args: argparse.Namespace):
+    """Build one serving matcher, optionally with the incremental fast path."""
+    from repro.core.config import AssignmentConfig, BanditConfig, LACBConfig
+
+    lacb_config = None
+    if args.incremental and name in ("LACB", "LACB-Opt"):
+        lacb_config = LACBConfig(
+            bandit=BanditConfig(),
+            assignment=AssignmentConfig(
+                use_cbs=(name == "LACB-Opt"),
+                incremental=True,
+                utility_cache=True,
+            ),
+        )
+    return MatcherSpec(name, seed=args.seed, lacb_config=lacb_config).build(platform)
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.engine.hooks import MetricsCollector
+    from repro.serving import MicroBatchPolicy, ServingEngine
+
+    if args.equivalence:
+        from repro.check.serving import run_serving_suite
+
+        cases, violations = run_serving_suite(num_days=min(args.days, 4))
+        print(f"serving equivalence: {cases} case(s) checked")
+        if violations:
+            print(f"FAILED: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            raise SystemExit(1)
+        print("OK: boundary-flush serving is bit-identical to the batch day loop")
+        return
+
+    platform_spec = PlatformSpec.synthetic(_config_from(args))
+    max_wait = args.max_wait if args.max_wait is not None else args.window_seconds
+    policy = MicroBatchPolicy(max_wait=max_wait, max_size=args.max_size)
+    rows = []
+    for name in args.algorithms:
+        platform = platform_spec.build()
+        matcher = _serve_matcher(name, platform, args)
+        collector = MetricsCollector()
+        engine = ServingEngine(
+            policy=policy,
+            window_seconds=args.window_seconds,
+            profile=args.profile,
+            arrival_seed=args.arrival_seed,
+            burst_amplitude=args.burst_amplitude,
+        )
+        report = engine.run(platform, matcher, hooks=[collector])
+        result = collector.result
+        wait_p50, _, wait_p99 = report.wait_quantiles()
+        _, _, latency_p99 = report.latency_quantiles()
+        rows.append(
+            (
+                name,
+                result.total_realized_utility,
+                report.requests,
+                report.micro_batches,
+                wait_p50,
+                wait_p99,
+                latency_p99,
+                report.throughput_rps,
+            )
+        )
+    print(
+        format_table(
+            [
+                "algorithm",
+                "total utility",
+                "requests",
+                "micro-batches",
+                "wait p50 s",
+                "wait p99 s",
+                "latency p99 s",
+                "req/s",
+            ],
+            rows,
+            title=(
+                f"Serving mode ({args.profile} arrivals, window {args.window_seconds:g}s, "
+                f"max-wait {max_wait:g}s"
+                + (f", max-size {args.max_size}" if args.max_size else "")
+                + ")"
+            ),
+        )
+    )
+
+
 def _cmd_timing(args: argparse.Namespace) -> None:
     rows = []
     for num_brokers in args.values:
@@ -532,6 +623,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+", default=["Top-3", "RR", "LACB-Opt"], choices=ALGORITHM_NAMES
     )
     develop.set_defaults(func=_cmd_develop)
+
+    serve = sub.add_parser(
+        "serve", help="event-driven serving mode (micro-batched matching)"
+    )
+    serve.add_argument("--brokers", type=int, default=50, help="number of brokers |B|")
+    serve.add_argument("--requests", type=int, default=2000, help="number of requests |R|")
+    serve.add_argument("--days", type=int, default=7, help="covering days")
+    serve.add_argument("--imbalance", type=float, default=0.015, help="sigma = |R|/|B| per batch")
+    serve.add_argument("--seed", type=int, default=7, help="matcher seed")
+    serve.add_argument("--instance-seed", type=int, default=1, help="city generation seed")
+    serve.add_argument(
+        "--algorithms", nargs="+", default=["Top-3", "AN", "LACB", "LACB-Opt"],
+        choices=ALGORITHM_NAMES,
+    )
+    serve.add_argument(
+        "--window-seconds",
+        type=float,
+        default=60.0,
+        help="virtual length of one platform window on the serving timeline",
+    )
+    serve.add_argument(
+        "--max-wait",
+        type=float,
+        default=None,
+        help="micro-batch max wait in virtual seconds (default: the window "
+        "length, i.e. the paper's fixed windows)",
+    )
+    serve.add_argument(
+        "--max-size",
+        type=int,
+        default=None,
+        help="close a micro-batch as soon as it holds this many requests",
+    )
+    serve.add_argument(
+        "--profile",
+        choices=("uniform", "bursty"),
+        default="uniform",
+        help="intra-window arrival rate profile",
+    )
+    serve.add_argument("--arrival-seed", type=int, default=0, help="arrival draw seed")
+    serve.add_argument(
+        "--burst-amplitude",
+        type=float,
+        default=1.2,
+        help="bursty profile amplitude in [0, 2); 0 degenerates to uniform",
+    )
+    serve.add_argument(
+        "--incremental",
+        action="store_true",
+        help="enable warm-started incremental KM + utility cache for the "
+        "LACB-family matchers (bit-identical results, faster micro-batches)",
+    )
+    serve.add_argument(
+        "--equivalence",
+        action="store_true",
+        help="run the serving-vs-batch equivalence suite instead of serving "
+        "(exits non-zero on any divergence)",
+    )
+    _add_telemetry_argument(serve)
+    _add_check_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     timing = sub.add_parser("timing", help="per-batch matching cost profile")
     timing.add_argument("values", nargs="+", type=int, help="|B| values")

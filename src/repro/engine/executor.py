@@ -144,7 +144,7 @@ def run_many(
     audit_dir = telemetry.audit_dir if telemetry is not None else None
     audit = telemetry.audit if telemetry is not None else None
     tasks = [
-        (spec, stream_dir, segment_name(index, spec.run_id()), audit_dir, audit)
+        (spec, stream_dir, segment_name(index, spec.run_id(), total=len(specs)), audit_dir, audit)
         for index, spec in enumerate(specs)
     ]
 

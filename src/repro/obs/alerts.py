@@ -215,10 +215,13 @@ class DriftDetector:
                 return alerts
 
         history.append(value)
-        # The rolling window only ever looks back `window` days; anything
-        # older is dead weight on a many-day run.
-        if len(history) > self.window:
-            del history[: len(history) - self.window]
+        # The rolling window only ever looks back `window` days, but the
+        # arming check needs `min_history` days — trimming below that
+        # (when min_history > window) would keep the detector disarmed
+        # forever, so keep whichever is larger.
+        keep = max(self.window, self.min_history)
+        if len(history) > keep:
+            del history[: len(history) - keep]
         return alerts
 
 

@@ -79,6 +79,10 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
     "decision_audit": (
         MetricSpec("overhead_ratio", higher_is_better=False, rel_tol=0.0, abs_tol=0.05),
     ),
+    "serving": (
+        MetricSpec("adaptive.p99_ratio", higher_is_better=True, rel_tol=0.30),
+        MetricSpec("adaptive.utility_ratio", higher_is_better=True, rel_tol=0.0, abs_tol=0.02),
+    ),
 }
 
 

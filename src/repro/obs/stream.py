@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from repro.obs.metrics import MetricsRegistry
@@ -52,9 +52,21 @@ def stream_dir_for(directory) -> str:
     return os.path.join(os.fspath(directory), STREAM_DIRNAME)
 
 
-def segment_name(index: int, run_id: str) -> str:
-    """Per-spec segment stem; zero-padded index makes name order = spec order."""
-    return f"{index:04d}-{run_id}"
+def segment_name(index: int, run_id: str, total: int | None = None) -> str:
+    """Per-spec segment stem; zero-padded index makes name order = spec order.
+
+    The pad width grows with ``total`` (the spec count) so the
+    "lexicographic order = spec order" invariant that bit-identical
+    ``jobs=N`` registry merges depend on survives past 10000 specs —
+    a fixed 4-digit pad would sort ``10000-…`` before ``2-…``.
+    """
+    width = 4 if total is None else max(4, len(str(max(total - 1, 0))))
+    if index >= 10**width:
+        raise ValueError(
+            f"segment index {index} does not fit a {width}-digit pad; "
+            "pass total= so the pad width covers the spec count"
+        )
+    return f"{index:0{width}d}-{run_id}"
 
 
 class TelemetryStreamWriter:
@@ -199,12 +211,15 @@ class StreamView:
         return registry
 
     def spans(self) -> list[SpanRecord]:
-        """All segments' spans, each segment in its own process lane."""
+        """All segments' spans, each segment in its own process lane.
+
+        Returns *copies*: re-laning must never rewrite the shared
+        ``SegmentView.spans`` records, or per-segment consumers reading
+        after a merged view would see the merged pids.
+        """
         merged: list[SpanRecord] = []
         for lane, segment in enumerate(self.segments):
-            for span in segment.spans:
-                span.pid = lane
-                merged.append(span)
+            merged.extend(replace(span, pid=lane) for span in segment.spans)
         return merged
 
     def alerts(self) -> list[dict]:

@@ -1,0 +1,58 @@
+"""Event-driven serving mode over the batch simulation.
+
+``repro.serving`` replays a :class:`~repro.simulation.requests.
+RequestStream` as a continuous arrival process, closes micro-batches with
+an adaptive max-wait/max-size policy, and drives the unchanged
+``Matcher``/``Platform`` protocol per micro-batch — so the paper's
+algorithms serve request *events* instead of preset windows, with
+per-request queueing and end-to-end latency measured along the way.
+
+Modules:
+
+- :mod:`repro.serving.arrivals` — deterministic arrival timestamps
+  (uniform and bursty intra-day profiles);
+- :mod:`repro.serving.microbatch` — the micro-batch policy and the
+  load-leveling queue in front of the solver;
+- :mod:`repro.serving.engine` — the :class:`ServingEngine` run loop and
+  its :class:`ServingReport`.
+
+The degenerate policy (``MicroBatchPolicy.boundary(window_seconds)``)
+reproduces the batch day loop bit for bit; :mod:`repro.check.serving`
+proves it.
+"""
+
+from repro.serving.arrivals import (
+    DEFAULT_BURST_AMPLITUDE,
+    DEFAULT_WINDOW_SECONDS,
+    PROFILES,
+    ArrivalSchedule,
+    derive_arrivals,
+)
+from repro.serving.engine import (
+    REPORT_QUANTILES,
+    WAIT_BOUNDARIES,
+    ServingEngine,
+    ServingReport,
+)
+from repro.serving.microbatch import (
+    FLUSH_REASONS,
+    LoadLevelingQueue,
+    MicroBatch,
+    MicroBatchPolicy,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "DEFAULT_BURST_AMPLITUDE",
+    "DEFAULT_WINDOW_SECONDS",
+    "FLUSH_REASONS",
+    "LoadLevelingQueue",
+    "MicroBatch",
+    "MicroBatchPolicy",
+    "PROFILES",
+    "REPORT_QUANTILES",
+    "ServingEngine",
+    "ServingReport",
+    "WAIT_BOUNDARIES",
+    "derive_arrivals",
+]

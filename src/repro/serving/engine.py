@@ -1,0 +1,329 @@
+"""ServingEngine: the event-driven counterpart of the batch day loop.
+
+Where :class:`~repro.engine.loop.DayLoopEngine` hands each platform window
+to the matcher as one batch, this engine replays the window's requests as
+*arrival events* (see :mod:`repro.serving.arrivals`), closes micro-batches
+with an adaptive policy (:mod:`repro.serving.microbatch`), and drives the
+**same** ``Matcher``/``Platform`` protocol per micro-batch — emitting the
+standard lifecycle events, so every existing hook (metrics collection,
+telemetry, runtime checks, checkpointing observers) composes unchanged.
+Algorithms built on repeated small solves are exactly what the PR-9
+incremental KM warm start and utility cache exist for; enable them via
+``AssignmentConfig(incremental=True, utility_cache=True)``.
+
+Latency accounting happens on two clocks, deliberately kept apart:
+
+- **virtual time** drives arrivals and batch closing — micro-batch
+  composition is a pure function of the schedule and the policy, so
+  assignments are bit-identical across machines and runs;
+- **measured time** (the engine's matcher clock) provides each
+  micro-batch's service duration, which the
+  :class:`~repro.serving.microbatch.LoadLevelingQueue` folds back onto
+  the virtual timeline: completion = service start + measured seconds.
+  Queue waits are therefore deterministic; end-to-end latencies carry
+  real solver cost and saturate like a real server.
+
+Per-request queue wait and end-to-end latency are recorded into
+``repro.obs`` histograms (``serving.queue_wait`` / ``serving.latency``),
+whose embedded quantile sketches answer p50/p95/p99; micro-batch sizes and
+flush reasons ride along (``serving.microbatch_size``,
+``serving.flushes``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.loop import (
+    BatchAssignedEvent,
+    DayEndEvent,
+    DayStartEvent,
+    RunContext,
+    _check_hooks,
+    _set_observed_day,
+    _telemetry_hooks,
+)
+from repro.obs import telemetry as obs
+from repro.serving.arrivals import (
+    DEFAULT_BURST_AMPLITUDE,
+    DEFAULT_WINDOW_SECONDS,
+    ArrivalSchedule,
+    derive_arrivals,
+)
+from repro.serving.microbatch import FLUSH_REASONS, LoadLevelingQueue, MicroBatchPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.algorithms.base import Matcher
+    from repro.engine.hooks import RunHook
+    from repro.simulation.platform import RealEstatePlatform
+
+#: Histogram boundaries for virtual-time waits/latencies (sub-second
+#: micro-batch waits through minute-scale saturated backlogs).
+WAIT_BOUNDARIES = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: Report quantiles, matching the repo-wide sketch convention.
+REPORT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass
+class ServingReport:
+    """Everything the serving engine measured over one run.
+
+    The run's :class:`~repro.engine.hooks.RunResult` still comes from a
+    :class:`~repro.engine.hooks.MetricsCollector` hook, exactly as in
+    batch mode; this report adds the serving-only quantities.
+
+    Attributes:
+        context: the run's context (as handed to every hook).
+        profile / window_seconds / policy: the serving configuration.
+        requests: total request events served.
+        micro_batches: micro-batches flushed.
+        flush_reasons: count per close reason (max_size/max_wait/boundary).
+        queue_waits: ``(requests,)`` virtual seconds from arrival to batch
+            close, in service order (deterministic).
+        latencies: ``(requests,)`` virtual seconds from arrival to service
+            completion (carries measured solver time).
+        batch_sizes: ``(micro_batches,)`` requests per micro-batch.
+        service_seconds: ``(micro_batches,)`` measured solver seconds.
+        makespan: virtual completion time of the last micro-batch.
+    """
+
+    context: RunContext
+    profile: str
+    window_seconds: float
+    policy: MicroBatchPolicy
+    requests: int
+    micro_batches: int
+    flush_reasons: dict[str, int]
+    queue_waits: np.ndarray
+    latencies: np.ndarray
+    batch_sizes: np.ndarray
+    service_seconds: np.ndarray
+    makespan: float
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per virtual second over the run's makespan."""
+        return self.requests / self.makespan if self.makespan > 0 else 0.0
+
+    def wait_quantiles(self) -> tuple[float, float, float]:
+        """p50/p95/p99 of the deterministic queueing wait."""
+        return self._quantiles(self.queue_waits)
+
+    def latency_quantiles(self) -> tuple[float, float, float]:
+        """p50/p95/p99 of end-to-end latency (includes measured service)."""
+        return self._quantiles(self.latencies)
+
+    @staticmethod
+    def _quantiles(values: np.ndarray) -> tuple[float, float, float]:
+        if values.size == 0:
+            return (0.0, 0.0, 0.0)
+        p50, p95, p99 = np.quantile(values, REPORT_QUANTILES)
+        return (float(p50), float(p95), float(p99))
+
+
+@dataclass
+class ServingEngine:
+    """Drives one matcher over a platform's horizon, event by event.
+
+    Attributes:
+        policy: the micro-batch closing policy.
+            :meth:`MicroBatchPolicy.boundary` reproduces fixed windows.
+        window_seconds / profile / arrival_seed / burst_amplitude: the
+            arrival-schedule parameters, used when no explicit
+            ``schedule`` is given.
+        schedule: an explicit arrival schedule (must match the platform's
+            window geometry); derived from the platform's stream otherwise.
+        clock: the monotonic timer charged for matcher calls (the same
+            timing seam as the day loop: only ``begin_day`` /
+            ``assign_batch`` / ``end_day`` are measured).
+    """
+
+    policy: MicroBatchPolicy
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    profile: str = "uniform"
+    arrival_seed: int = 0
+    burst_amplitude: float = DEFAULT_BURST_AMPLITUDE
+    schedule: ArrivalSchedule | None = None
+    clock: Callable[[], float] = time.perf_counter
+    #: Filled by :meth:`run`; kept for callers that only see the context.
+    last_report: ServingReport | None = field(default=None, repr=False)
+
+    def run(
+        self,
+        platform: RealEstatePlatform,
+        matcher: Matcher,
+        hooks: Sequence[RunHook] | Iterable[RunHook] = (),
+    ) -> ServingReport:
+        """Serve the whole horizon, notifying ``hooks`` throughout."""
+        hooks = tuple(hooks)
+        hooks += _telemetry_hooks(hooks)
+        hooks += _check_hooks(hooks)
+        schedule = self.schedule
+        if schedule is None:
+            schedule = derive_arrivals(
+                platform.stream,
+                window_seconds=self.window_seconds,
+                profile=self.profile,
+                seed=self.arrival_seed,
+                burst_amplitude=self.burst_amplitude,
+            )
+        if (
+            schedule.num_days != platform.num_days
+            or schedule.batches_per_day != platform.batches_per_day
+        ):
+            raise ValueError(
+                f"arrival schedule geometry ({schedule.num_days} days x "
+                f"{schedule.batches_per_day} windows) does not match the "
+                f"platform ({platform.num_days} x {platform.batches_per_day})"
+            )
+        platform.reset()
+        context = RunContext(
+            platform=platform,
+            matcher=matcher,
+            num_days=platform.num_days,
+            num_brokers=platform.num_brokers,
+            batches_per_day=platform.batches_per_day,
+        )
+        for hook in hooks:
+            hook.on_run_start(context)
+
+        clock = self.clock
+        cpu_clock = time.process_time
+        queue = LoadLevelingQueue()
+        waits: list[np.ndarray] = []
+        latencies: list[np.ndarray] = []
+        sizes: list[int] = []
+        services: list[float] = []
+        reasons = dict.fromkeys(FLUSH_REASONS, 0)
+
+        for day in range(context.num_days):
+            _set_observed_day(day)
+            contexts = platform.start_day(day)
+            cpu_tick = cpu_clock()
+            tick = clock()
+            matcher.begin_day(day, contexts)
+            begin_seconds = clock() - tick
+            begin_cpu = cpu_clock() - cpu_tick
+            day_event = DayStartEvent(
+                day=day,
+                contexts=contexts,
+                matcher_seconds=begin_seconds,
+                matcher_cpu_seconds=begin_cpu,
+            )
+            for hook in hooks:
+                hook.on_day_start(day_event)
+
+            for batch in range(context.batches_per_day):
+                request_ids = platform.batch_requests(day, batch)
+                if request_ids.size == 0:
+                    continue
+                times = schedule.arrivals_for(day, batch, request_ids)
+                # Stable sort: appealed re-queues (arriving at window open)
+                # move to the front; without appeals this is the identity,
+                # which is what boundary-flush bit-identity rests on.
+                order = np.argsort(times, kind="stable")
+                ids = request_ids[order]
+                times = times[order]
+                window_end = schedule.window_end(day, batch)
+                for micro in self.policy.split(times, window_end):
+                    micro_ids = ids[micro.start : micro.stop]
+                    # Environment work stays off the matcher clock, exactly
+                    # as in the day loop's timing seam.
+                    utilities = platform.predicted_utilities(micro_ids)
+                    cpu_tick = cpu_clock()
+                    tick = clock()
+                    assignment = matcher.assign_batch(day, batch, micro_ids, utilities)
+                    assign_seconds = clock() - tick
+                    assign_cpu = cpu_clock() - cpu_tick
+                    platform.submit_assignment(assignment)
+
+                    _service_start, completion = queue.admit(
+                        micro.close_time, assign_seconds
+                    )
+                    micro_times = times[micro.start : micro.stop]
+                    micro_waits = micro.close_time - micro_times
+                    micro_latency = completion - micro_times
+                    waits.append(micro_waits)
+                    latencies.append(micro_latency)
+                    sizes.append(micro.size)
+                    services.append(assign_seconds)
+                    reasons[micro.reason] += 1
+                    self._record_telemetry(micro, micro_waits, micro_latency)
+
+                    batch_event = BatchAssignedEvent(
+                        day=day,
+                        batch=batch,
+                        request_ids=micro_ids,
+                        utilities=utilities,
+                        assignment=assignment,
+                        matcher_seconds=assign_seconds,
+                        matcher_cpu_seconds=assign_cpu,
+                    )
+                    for hook in hooks:
+                        hook.on_batch_assigned(batch_event)
+
+            outcome = platform.finish_day()
+            cpu_tick = cpu_clock()
+            tick = clock()
+            matcher.end_day(day, outcome, contexts)
+            end_seconds = clock() - tick
+            end_cpu = cpu_clock() - cpu_tick
+            end_event = DayEndEvent(
+                day=day,
+                outcome=outcome,
+                contexts=contexts,
+                matcher_seconds=end_seconds,
+                matcher_cpu_seconds=end_cpu,
+            )
+            for hook in hooks:
+                hook.on_day_end(end_event)
+
+        _set_observed_day(-1)
+        for hook in hooks:
+            hook.on_run_end(context)
+
+        all_waits = np.concatenate(waits) if waits else np.zeros(0)
+        all_latencies = np.concatenate(latencies) if latencies else np.zeros(0)
+        report = ServingReport(
+            context=context,
+            profile=schedule.profile,
+            window_seconds=schedule.window_seconds,
+            policy=self.policy,
+            requests=int(all_waits.size),
+            micro_batches=len(sizes),
+            flush_reasons=reasons,
+            queue_waits=all_waits,
+            latencies=all_latencies,
+            batch_sizes=np.asarray(sizes, dtype=int),
+            service_seconds=np.asarray(services),
+            makespan=queue.last_completion,
+        )
+        obs.set_gauge("serving.makespan", report.makespan)
+        obs.set_gauge("serving.throughput_rps", report.throughput_rps)
+        self.last_report = report
+        return report
+
+    @staticmethod
+    def _record_telemetry(
+        micro, micro_waits: np.ndarray, micro_latency: np.ndarray
+    ) -> None:
+        """Book one micro-batch into the active telemetry (no-op when off)."""
+        if not obs.enabled():
+            return
+        for wait, latency in zip(micro_waits, micro_latency):
+            obs.observe("serving.queue_wait", float(wait), boundaries=WAIT_BOUNDARIES)
+            obs.observe("serving.latency", float(latency), boundaries=WAIT_BOUNDARIES)
+        obs.observe("serving.microbatch_size", float(micro.size))
+        obs.add("serving.flushes", reason=micro.reason)
+        obs.add("serving.requests", micro.size)
+
+
+__all__ = ["REPORT_QUANTILES", "WAIT_BOUNDARIES", "ServingEngine", "ServingReport"]

@@ -110,6 +110,40 @@ def test_alert_roundtrip_and_describe():
     assert "day 4" in text and "overload_rate" in text and "step change" in text
 
 
+def test_min_history_larger_than_window_still_arms():
+    """Regression: observe() used to trim history to `window` entries, so a
+    detector configured with min_history > window could never satisfy the
+    `len(history) >= min_history` arming check — both detectors stayed
+    silently disabled forever."""
+    detector = DriftDetector("day_utility", window=3, min_history=10)
+    quiet = [10.0 + 0.01 * (i % 3) for i in range(10)]
+    raised = _feed(detector, quiet + [40.0])
+    assert len(raised) == 1
+    assert raised[0].detector == "zscore"
+    assert raised[0].day == 10
+
+
+@pytest.mark.parametrize(
+    "window, min_history",
+    [(2, 2), (3, 7), (7, 3), (7, 7), (2, 12), (12, 2), (5, 30)],
+)
+def test_detector_config_matrix_arms_and_alerts(window, min_history):
+    """Every window/min_history combination arms after max(window,
+    min_history) quiet days and alerts on an unmistakable step change."""
+    detector = DriftDetector("day_utility", window=window, min_history=min_history)
+    arm_day = max(window, min_history)
+    quiet = [10.0 + 0.01 * (i % 2) for i in range(arm_day)]
+    raised = _feed(detector, quiet + [40.0])
+    assert len(raised) == 1
+    assert raised[0].day == arm_day
+    assert raised[0].detector == "zscore"
+    # The history buffer stays bounded: re-feeding quiet days after the
+    # post-alert re-baseline never grows it past max(window, min_history).
+    _feed(detector, [40.0 + 0.01 * (i % 2) for i in range(3 * arm_day)],
+          start_day=arm_day + 1)
+    assert len(detector._history) <= max(window, min_history)
+
+
 def test_detector_rejects_degenerate_windows():
     with pytest.raises(ValueError):
         DriftDetector("x", window=1)

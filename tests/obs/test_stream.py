@@ -105,6 +105,58 @@ def test_run_many_segments_merge_bit_identical_to_parent(tmp_path):
     assert view.spans(), "span deltas must ride along"
 
 
+def test_spans_merge_returns_copies_not_aliases(tmp_path):
+    """Regression: StreamView.spans() used to rewrite `span.pid = lane` on
+    the shared SegmentView records, so reading per-segment spans after a
+    merged view saw the merged lanes instead of the recorded pids."""
+    for name in ("a", "b"):
+        telemetry = Telemetry()
+        with telemetry.tracer.span("phase"):
+            pass
+        writer = TelemetryStreamWriter(tmp_path, segment=name)
+        writer.flush(telemetry, day=0, final=True)
+
+    view = read_stream(tmp_path)
+    before = [[span.pid for span in segment.spans] for segment in view.segments]
+    merged = view.spans()
+    assert [span.pid for span in merged] == [0, 1]  # one lane per segment
+    after = [[span.pid for span in segment.spans] for segment in view.segments]
+    assert after == before == [[0], [0]]
+    # And the copies really are copies — mutating one never leaks back.
+    merged[0].pid = 99
+    assert view.segments[0].spans[0].pid == 0
+
+
+def test_merged_registry_percentiles_survive_prior_spans_calls(tmp_path):
+    """Round-trip: quantile queries on the merged registry are identical
+    whether or not spans() was called (and called repeatedly) first."""
+    telemetry = Telemetry()
+    telemetry.stream_dir = str(tmp_path)
+    run_many(_specs(), jobs=2, telemetry=telemetry)
+
+    view = read_stream(tmp_path)
+    untouched = read_stream(tmp_path)
+    view.spans()
+    view.spans()  # repeated merges must be idempotent too
+    for registry in (view.merged_registry(), untouched.merged_registry()):
+        timer = registry.timer("engine.assign_batch", algorithm="Top-3")
+        assert timer.count > 0
+    assert _comparable(view.merged_registry()) == _comparable(untouched.merged_registry())
+
+
+def test_segment_name_pad_width_scales_with_total():
+    """Regression: a fixed 4-digit pad breaks 'lexicographic order = spec
+    order' at >= 10000 specs (\"10000-\" sorts before \"2-\")."""
+    assert segment_name(2, "r") == "0002-r"
+    assert segment_name(2, "r", total=12000) == "00002-r"
+    names = [segment_name(i, "r", total=12000) for i in (0, 2, 9999, 10000, 11999)]
+    assert names == sorted(names)
+    with pytest.raises(ValueError, match="pad"):
+        segment_name(10000, "r")  # the 4-digit default cannot hold it
+    with pytest.raises(ValueError, match="pad"):
+        segment_name(10**7, "r", total=10**7)  # index beyond total still caught
+
+
 def test_progress_records_carry_live_quality_and_latency(tmp_path):
     telemetry = Telemetry()
     telemetry.stream_dir = str(tmp_path)

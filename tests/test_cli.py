@@ -442,3 +442,62 @@ def test_sweep_checkpoint_then_resume_round_trip(capsys, tmp_path):
     main(args + ["--resume"])
     resumed = capsys.readouterr().out
     assert resumed == straight
+
+
+def test_serve_command(capsys):
+    main(
+        [
+            "serve",
+            "--brokers", "15", "--requests", "150", "--days", "2",
+            "--algorithms", "Top-3", "LACB",
+            "--max-wait", "5", "--max-size", "16", "--profile", "bursty",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "Serving mode" in out
+    assert "Top-3" in out and "LACB" in out
+    assert "wait p99 s" in out and "req/s" in out
+
+
+def test_serve_incremental_matches_plain(capsys):
+    args = [
+        "serve",
+        "--brokers", "12", "--requests", "90", "--days", "2",
+        "--algorithms", "LACB-Opt",
+        "--max-wait", "10",
+    ]
+    main(args)
+    plain = capsys.readouterr().out
+    main(args + ["--incremental"])
+    incremental = capsys.readouterr().out
+    # The fast path changes timing columns only; utilities are identical.
+    assert plain.splitlines()[0] == incremental.splitlines()[0]
+    plain_util = plain.splitlines()[3].split()[1]
+    incr_util = incremental.splitlines()[3].split()[1]
+    assert plain_util == incr_util
+
+
+def test_serve_equivalence_flag(capsys, monkeypatch):
+    from repro.check.runtime import Violation
+
+    monkeypatch.setattr(
+        "repro.check.serving.run_serving_suite", lambda **kwargs: (4, [])
+    )
+    main(["serve", "--equivalence"])
+    assert "OK: boundary-flush serving" in capsys.readouterr().out
+
+    monkeypatch.setattr(
+        "repro.check.serving.run_serving_suite",
+        lambda **kwargs: (1, [Violation("serving.result_diverges", "drift")]),
+    )
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--equivalence"])
+    assert excinfo.value.code == 1
+    assert "serving.result_diverges" in capsys.readouterr().out
+
+
+def test_serve_equivalence_end_to_end(capsys):
+    main(["serve", "--equivalence", "--days", "2"])
+    out = capsys.readouterr().out
+    assert "case(s) checked" in out
+    assert "OK" in out
